@@ -1,0 +1,39 @@
+// X3: node-count scaling. The paper reports 8-processor numbers only; this
+// ablation sweeps 2..16 nodes for the four base protocols on a stencil
+// (sor) and a communication-heavy app (fft) to show each protocol's
+// scaling shape.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updsm;
+  using protocols::ProtocolKind;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+
+  std::cout << "Ablation X3: speedup vs node count\n\n";
+  for (const auto app : {"sor", "fft", "swm"}) {
+    harness::TextTable table({"nodes", "lmw-i", "lmw-u", "bar-i", "bar-u"});
+    for (const int nodes : {2, 4, 8, 16}) {
+      dsm::ClusterConfig cfg = opt.cluster_config();
+      cfg.num_nodes = nodes;
+      const auto params = opt.app_params();
+      const auto seq = harness::run_sequential(app, cfg, params);
+      std::vector<std::string> row{std::to_string(nodes)};
+      for (const auto kind : protocols::base_protocols()) {
+        const auto par = harness::run_app(app, kind, cfg, params);
+        if (par.checksum != seq.checksum) {
+          std::cerr << "FATAL: divergence for " << app << " at " << nodes
+                    << " nodes under " << protocols::to_string(kind) << "\n";
+          return 1;
+        }
+        row.push_back(harness::fmt(harness::speedup(par, seq)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << app << ":\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Shared plumbing for the table/figure bench binaries: command-line
+// parsing, the canonical experiment grid (8 apps x protocols at paper
+// scale), and result caching so one binary can build several views of the
+// same runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "updsm/harness/experiment.hpp"
+#include "updsm/harness/report.hpp"
+
+namespace updsm::bench {
+
+struct BenchOptions {
+  int nodes = 8;            // the paper's 8-node SP-2
+  double scale = 1.0;       // linear problem-size factor
+  int warmup = 5;           // covers migration + overdrive learning
+  int iterations = 10;      // measured steady-state time-steps
+  std::uint64_t seed = 0x1998'0330;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        const std::size_t len = std::strlen(prefix);
+        return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+      };
+      if (const char* v = value("--nodes=")) {
+        opt.nodes = std::atoi(v);
+      } else if (const char* v = value("--scale=")) {
+        opt.scale = std::atof(v);
+      } else if (const char* v = value("--iters=")) {
+        opt.iterations = std::atoi(v);
+      } else if (const char* v = value("--warmup=")) {
+        opt.warmup = std::atoi(v);
+      } else if (arg == "--quick") {
+        opt.scale = 0.25;
+        opt.iterations = 4;
+      } else if (arg == "--help") {
+        std::printf(
+            "options: --nodes=N --scale=F --iters=N --warmup=N --quick\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return opt;
+  }
+
+  [[nodiscard]] apps::AppParams app_params() const {
+    apps::AppParams p;
+    p.scale = scale;
+    p.warmup_iterations = warmup;
+    p.measured_iterations = iterations;
+    p.seed = seed;
+    return p;
+  }
+
+  [[nodiscard]] dsm::ClusterConfig cluster_config() const {
+    dsm::ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+/// Runs (and caches) the experiment grid used by several benches.
+class RunCache {
+ public:
+  explicit RunCache(const BenchOptions& opt) : opt_(opt) {}
+
+  const harness::RunResult& parallel(std::string_view app,
+                                     protocols::ProtocolKind kind) {
+    const std::string key =
+        std::string(app) + "/" + protocols::to_string(kind);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(key, harness::run_app(app, kind,
+                                              opt_.cluster_config(),
+                                              opt_.app_params()))
+               .first;
+    }
+    return it->second;
+  }
+
+  const harness::RunResult& sequential(std::string_view app) {
+    const std::string key = std::string(app) + "/seq";
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(key, harness::run_sequential(app,
+                                                     opt_.cluster_config(),
+                                                     opt_.app_params()))
+               .first;
+    }
+    return it->second;
+  }
+
+  double speedup(std::string_view app, protocols::ProtocolKind kind) {
+    return harness::speedup(parallel(app, kind), sequential(app));
+  }
+
+  /// Checks that the run reproduced the sequential checksum; aborts loudly
+  /// otherwise (a bench must never report numbers from a wrong answer).
+  void verify(std::string_view app, protocols::ProtocolKind kind) {
+    const auto& par = parallel(app, kind);
+    const auto& seq = sequential(app);
+    if (par.checksum != seq.checksum) {
+      std::fprintf(stderr,
+                   "FATAL: %s under %s diverged from sequential result\n",
+                   std::string(app).c_str(), protocols::to_string(kind));
+      std::exit(1);
+    }
+  }
+
+ private:
+  BenchOptions opt_;
+  std::map<std::string, harness::RunResult> cache_;
+};
+
+/// Apps excluded from overdrive (dynamic sharing), per paper §5.1.
+[[nodiscard]] inline bool overdrive_safe(std::string_view app) {
+  apps::AppParams probe;
+  return apps::make_app(app, probe)->overdrive_safe();
+}
+
+}  // namespace updsm::bench

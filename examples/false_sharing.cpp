@@ -1,0 +1,99 @@
+// false_sharing: why multi-writer LRC exists (paper §2.1).
+//
+// Eight nodes concurrently update interleaved elements of the SAME pages.
+// Under the sequentially-consistent single-writer baseline (sc-sw), every
+// write must win exclusive ownership, so the pages ping-pong across the
+// cluster inside each epoch; under multi-writer LRC (lmw-i) the concurrent
+// writes proceed without any communication and the diffs merge at the
+// barrier. The example prints the message/traffic gap.
+//
+// Note: sc-sw revokes access mid-epoch, so this program uses element
+// accessors (get/set) throughout -- cached views would bypass revocation
+// (see protocols/sc_sw.hpp).
+//
+//   $ ./false_sharing
+#include <cstdio>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/mem/shared_heap.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace {
+
+using namespace updsm;
+
+constexpr std::size_t kCount = 2048;  // two 8 KB pages of doubles
+constexpr int kIterations = 8;
+
+struct Outcome {
+  std::uint64_t messages = 0;
+  std::uint64_t data_kb = 0;
+  sim::SimTime elapsed = 0;
+  bool correct = false;
+};
+
+Outcome run(protocols::ProtocolKind kind) {
+  dsm::ClusterConfig config;
+  config.num_nodes = 8;
+  mem::SharedHeap heap(config.page_size);
+  const GlobalAddr addr = heap.alloc_page_aligned(kCount * 8, "data");
+
+  dsm::Cluster cluster(config, heap, protocols::make_protocol(kind));
+  bool correct = true;
+  cluster.run([&](dsm::NodeContext& ctx) {
+    auto data = ctx.array<double>(addr, kCount);
+    const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+    const auto me = static_cast<std::size_t>(ctx.node());
+    for (int iter = 1; iter <= kIterations; ++iter) {
+      // Interleaved ownership: node k updates elements k, k+8, k+16, ...
+      // Every page is written by every node in every epoch.
+      for (std::size_t i = me; i < kCount; i += nodes) {
+        data.set(i, iter * 10.0 + static_cast<double>(i));
+      }
+      ctx.compute_flops(kCount / nodes * 2);
+      ctx.barrier();
+      for (std::size_t i = 0; i < kCount; i += 97) {
+        if (data.get(i) != iter * 10.0 + static_cast<double>(i)) {
+          correct = false;
+        }
+      }
+      ctx.barrier();
+    }
+  });
+
+  Outcome out;
+  out.messages = cluster.runtime().net().stats().total_one_way_messages();
+  out.data_kb = cluster.runtime().net().stats().total_bytes() / 1024;
+  out.elapsed = cluster.elapsed();
+  out.correct = correct;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("false sharing: 8 writers interleaved on the same pages, "
+              "%d epochs\n\n", kIterations);
+  std::printf("  %-6s %12s %10s %10s  %s\n", "proto", "messages", "data(kB)",
+              "time(ms)", "correct");
+  for (const auto kind :
+       {protocols::ProtocolKind::ScSw, protocols::ProtocolKind::LmwI,
+        protocols::ProtocolKind::BarU}) {
+    const Outcome o = run(kind);
+    std::printf("  %-6s %12llu %10llu %10.1f  %s\n",
+                protocols::to_string(kind),
+                static_cast<unsigned long long>(o.messages),
+                static_cast<unsigned long long>(o.data_kb),
+                sim::to_msec(o.elapsed), o.correct ? "yes" : "NO");
+  }
+  std::printf(
+      "\nsc-sw must arbitrate page ownership among the concurrent writers "
+      "inside the\nepoch (the simulator's cooperative scheduling coalesces "
+      "its per-access\nping-pong into one ownership transfer per node per "
+      "page, so real hardware\nwould look considerably worse); the "
+      "multi-writer protocols let all eight\nwriters proceed in parallel "
+      "and merge their diffs at the barrier -- bar-u\nfinishes ~2-3x "
+      "sooner (paper section 2.1).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// heat_diffusion: porting a real kernel to the DSM, the way a scientist
+// would follow the paper's programming model (§1: "write sequential
+// programs, re-writing a few computation-intensive procedures, and adding
+// parallelism directives where necessary").
+//
+// A 2-D explicit heat solver is written once against NodeContext; the same
+// function runs sequentially (1 node) and in parallel under each protocol.
+// The example prints a protocol-by-protocol speedup/traffic comparison and
+// verifies that every run computes bit-identical temperatures.
+//
+//   $ ./heat_diffusion [grid] [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/mem/shared_heap.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace {
+
+using namespace updsm;
+
+struct HeatResult {
+  double checksum = 0.0;
+  sim::SimTime elapsed = 0;
+  std::uint64_t data_kb = 0;
+  std::uint64_t misses = 0;
+};
+
+/// The ported kernel: forward-Euler heat diffusion with a hot disk in the
+/// middle, rows block-distributed, one barrier per half-step.
+void heat_program(dsm::NodeContext& ctx, GlobalAddr a_addr, GlobalAddr b_addr,
+                  std::size_t n, int iterations, double* checksum_out) {
+  auto a = ctx.array<double>(a_addr, n * n);
+  auto b = ctx.array<double>(b_addr, n * n);
+
+  if (ctx.node() == 0) {
+    auto w = a.write_all();
+    auto w2 = b.write_all();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        const double dr = static_cast<double>(r) - static_cast<double>(n) / 2;
+        const double dc = static_cast<double>(c) - static_cast<double>(n) / 2;
+        const double v =
+            (dr * dr + dc * dc < static_cast<double>(n * n) / 16) ? 100.0 : 0.0;
+        w[r * n + c] = v;
+        w2[r * n + c] = v;
+      }
+    }
+  }
+  ctx.barrier();
+
+  const std::size_t rows = n - 2;
+  const std::size_t per = rows / static_cast<std::size_t>(ctx.num_nodes());
+  const std::size_t lo = 1 + per * static_cast<std::size_t>(ctx.node());
+  const std::size_t hi =
+      ctx.node() + 1 == ctx.num_nodes() ? n - 1 : lo + per;
+
+  auto half_step = [&](dsm::SharedArray<double>& src,
+                       dsm::SharedArray<double>& dst) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      auto up = src.read_view((r - 1) * n, r * n);
+      auto mid = src.read_view(r * n, (r + 1) * n);
+      auto down = src.read_view((r + 1) * n, (r + 2) * n);
+      auto out = dst.write_view(r * n, (r + 1) * n);
+      for (std::size_t c = 1; c + 1 < n; ++c) {
+        out[c] = mid[c] + 0.2 * (up[c] + down[c] + mid[c - 1] + mid[c + 1] -
+                                 4.0 * mid[c]);
+      }
+    }
+    ctx.compute_flops((hi - lo) * (n - 2) * 7);
+    ctx.barrier();
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    ctx.iteration_begin();
+    half_step(a, b);
+    half_step(b, a);
+  }
+
+  if (ctx.node() == 0) {
+    double sum = 0.0;
+    for (const double v : a.read_all()) sum += v;
+    *checksum_out = sum;
+  }
+  ctx.barrier();
+}
+
+HeatResult run_heat(protocols::ProtocolKind kind, int nodes, std::size_t n,
+                    int iterations) {
+  dsm::ClusterConfig config;
+  config.num_nodes = nodes;
+  mem::SharedHeap heap(config.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(n * n * 8, "heat.a");
+  const GlobalAddr b = heap.alloc_page_aligned(n * n * 8, "heat.b");
+
+  dsm::Cluster cluster(config, heap, protocols::make_protocol(kind));
+  HeatResult result;
+  cluster.run([&](dsm::NodeContext& ctx) {
+    heat_program(ctx, a, b, n, iterations, &result.checksum);
+  });
+  result.elapsed = cluster.elapsed();
+  result.data_kb = cluster.runtime().net().stats().total_bytes() / 1024;
+  result.misses = cluster.runtime().counters().remote_misses;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  std::printf("heat_diffusion: %zux%zu grid, %d time-steps, 8 nodes\n\n", n,
+              n, iterations);
+  const HeatResult seq =
+      run_heat(protocols::ProtocolKind::Null, 1, n, iterations);
+  std::printf("  %-6s  %10s  %8s  %9s  %8s  %s\n", "proto", "time(ms)",
+              "speedup", "data(kB)", "misses", "correct");
+  std::printf("  %-6s  %10.1f  %8s  %9s  %8s  %s\n", "seq",
+              sim::to_msec(seq.elapsed), "1.00", "-", "-", "ref");
+  for (const auto kind :
+       {protocols::ProtocolKind::LmwI, protocols::ProtocolKind::LmwU,
+        protocols::ProtocolKind::BarI, protocols::ProtocolKind::BarU,
+        protocols::ProtocolKind::BarS, protocols::ProtocolKind::BarM}) {
+    const HeatResult r = run_heat(kind, 8, n, iterations);
+    std::printf("  %-6s  %10.1f  %8.2f  %9llu  %8llu  %s\n",
+                protocols::to_string(kind), sim::to_msec(r.elapsed),
+                static_cast<double>(seq.elapsed) /
+                    static_cast<double>(r.elapsed),
+                static_cast<unsigned long long>(r.data_kb),
+                static_cast<unsigned long long>(r.misses),
+                r.checksum == seq.checksum ? "bit-exact" : "DIVERGED");
+  }
+  std::printf(
+      "\nThe same kernel, unchanged, ran under six coherence protocols.\n");
+  return 0;
+}

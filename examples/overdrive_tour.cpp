@@ -1,0 +1,158 @@
+// overdrive_tour: a guided walk through bar-s and bar-m "overdrive"
+// (paper §4 and §5).
+//
+// Runs one stable stencil under bar-u, bar-s and bar-m, printing the OS
+// trap counters before and after overdrive engages -- showing bar-s
+// eliminating segvs and bar-m eliminating mprotects -- and then
+// demonstrates the safety net: the same program with a late phase change
+// is rejected by the Strict fallback and survives (correctly) under
+// Revert.
+//
+//   $ ./overdrive_tour
+#include <cstdio>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/mem/shared_heap.hpp"
+#include "updsm/protocols/bar.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace {
+
+using namespace updsm;
+
+constexpr std::size_t kCount = 8192;
+constexpr int kNodes = 8;
+
+void stencil_iteration(dsm::NodeContext& ctx,
+                       dsm::SharedArray<double>& data, int iter,
+                       bool diverge) {
+  const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+  const auto me = static_cast<std::size_t>(ctx.node());
+  const std::size_t chunk = kCount / nodes;
+  ctx.iteration_begin();
+  {
+    auto w = data.write_view(me * chunk, (me + 1) * chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      w[i] = iter * 3.0 + static_cast<double>(i);
+    }
+    ctx.compute_flops(chunk * 2);
+  }
+  if (diverge && me == 3) {
+    // A write the learned pattern never saw: node 3 pokes node 4's block.
+    data.set(4 * chunk, -1.0);
+  }
+  ctx.barrier();
+  {
+    const std::size_t peer = (me + 1) % nodes;
+    auto r = data.read_view(peer * chunk, (peer + 1) * chunk);
+    double acc = 0;
+    for (const double v : r) acc += v;
+    ctx.compute_flops(chunk);
+    (void)acc;
+  }
+  ctx.barrier();
+}
+
+struct TrapCounts {
+  std::uint64_t segvs = 0;
+  std::uint64_t mprotects = 0;
+};
+
+TrapCounts total_traps(const dsm::Cluster& cluster) {
+  TrapCounts t;
+  for (int i = 0; i < kNodes; ++i) {
+    auto& rt = const_cast<dsm::Cluster&>(cluster).runtime();
+    const auto& c = rt.os(NodeId{static_cast<std::uint32_t>(i)}).counters();
+    t.segvs += c.segvs;
+    t.mprotects += c.mprotects;
+  }
+  return t;
+}
+
+void tour_protocol(protocols::ProtocolKind kind) {
+  dsm::ClusterConfig config;
+  config.num_nodes = kNodes;
+  mem::SharedHeap heap(config.page_size);
+  const GlobalAddr addr = heap.alloc_page_aligned(kCount * 8, "data");
+
+  auto protocol = protocols::make_protocol(kind);
+  auto* bar = dynamic_cast<protocols::BarProtocol*>(protocol.get());
+  dsm::Cluster cluster(config, heap, std::move(protocol));
+
+  TrapCounts at_engage;
+  bool engaged_reported = false;
+  cluster.run([&](dsm::NodeContext& ctx) {
+    auto data = ctx.array<double>(addr, kCount);
+    for (int iter = 1; iter <= 12; ++iter) {
+      stencil_iteration(ctx, data, iter, /*diverge=*/false);
+      if (ctx.node() == 0 && bar->overdrive_active() && !engaged_reported) {
+        engaged_reported = true;
+        at_engage = total_traps(cluster);
+        std::printf("  %-6s overdrive engaged after iteration %d "
+                    "(period %llu barriers)\n",
+                    protocols::to_string(kind), iter,
+                    static_cast<unsigned long long>(bar->overdrive_period()));
+      }
+    }
+  });
+
+  const TrapCounts end = total_traps(cluster);
+  if (!engaged_reported) {
+    std::printf("  %-6s never engages overdrive (by design)\n",
+                protocols::to_string(kind));
+    at_engage = TrapCounts{};
+  }
+  std::printf("  %-6s steady-state traps: %llu segvs, %llu mprotects\n",
+              protocols::to_string(kind),
+              static_cast<unsigned long long>(end.segvs - at_engage.segvs),
+              static_cast<unsigned long long>(end.mprotects -
+                                              at_engage.mprotects));
+}
+
+int run_divergent(dsm::OverdriveFallback fallback) {
+  dsm::ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.overdrive_fallback = fallback;
+  mem::SharedHeap heap(config.page_size);
+  const GlobalAddr addr = heap.alloc_page_aligned(kCount * 8, "data");
+  dsm::Cluster cluster(config, heap,
+                       protocols::make_protocol(protocols::ProtocolKind::BarS));
+  try {
+    cluster.run([&](dsm::NodeContext& ctx) {
+      auto data = ctx.array<double>(addr, kCount);
+      for (int iter = 1; iter <= 12; ++iter) {
+        stencil_iteration(ctx, data, iter, /*diverge=*/iter == 9);
+      }
+    });
+  } catch (const ProtocolError& e) {
+    std::printf("  Strict: rejected -- %s\n", e.what());
+    return 1;
+  }
+  std::printf("  Revert: handled %llu unpredicted write(s), result correct "
+              "(poked value visible: %s)\n",
+              static_cast<unsigned long long>(
+                  cluster.runtime().counters().overdrive_mispredictions),
+              cluster.runtime().counters().overdrive_mispredictions > 0
+                  ? "yes"
+                  : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Part 1: trap elimination on a stable pattern (12 iterations)\n");
+  for (const auto kind :
+       {protocols::ProtocolKind::BarU, protocols::ProtocolKind::BarS,
+        protocols::ProtocolKind::BarM}) {
+    tour_protocol(kind);
+  }
+  std::printf("\nPart 2: what happens when the pattern changes at "
+              "iteration 9\n");
+  run_divergent(dsm::OverdriveFallback::Strict);
+  run_divergent(dsm::OverdriveFallback::Revert);
+  std::printf("\n(bar-m is only safe when access patterns are completely "
+              "predictable -- paper section 5.2.)\n");
+  return 0;
+}

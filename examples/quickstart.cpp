@@ -1,0 +1,76 @@
+// Quickstart: the smallest complete updsm program.
+//
+// Simulates a 4-node DSM cluster running the paper's best general-purpose
+// protocol (bar-u). Node 0 produces a shared array each iteration; every
+// node consumes it; the run prints the protocol's behaviour counters.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/mem/shared_heap.hpp"
+#include "updsm/protocols/factory.hpp"
+
+int main() {
+  using namespace updsm;
+
+  // 1. Configure the simulated cluster (defaults model the paper's SP-2).
+  dsm::ClusterConfig config;
+  config.num_nodes = 4;
+
+  // 2. Lay out shared memory before the cluster starts.
+  mem::SharedHeap heap(config.page_size);
+  constexpr std::size_t kCount = 4096;
+  const GlobalAddr data_addr =
+      heap.alloc_page_aligned(kCount * sizeof(double), "data");
+
+  // 3. Pick a coherence protocol and build the cluster.
+  dsm::Cluster cluster(config, heap,
+                       protocols::make_protocol(protocols::ProtocolKind::BarU));
+
+  // 4. Run one program on every node. Shared data is only reachable
+  //    through MMU-checked accessors; barriers are the only synchronization.
+  cluster.run([&](dsm::NodeContext& ctx) {
+    auto data = ctx.array<double>(data_addr, kCount);
+    for (int iter = 1; iter <= 10; ++iter) {
+      ctx.iteration_begin();  // SUIF-style time-step annotation
+      if (ctx.node() == 0) {
+        auto w = data.write_all();
+        for (std::size_t i = 0; i < kCount; ++i) {
+          w[i] = iter * 1000.0 + static_cast<double>(i);
+        }
+      }
+      ctx.compute_flops(kCount);  // charge the virtual clock for real work
+      ctx.barrier();
+
+      double sum = 0.0;
+      for (const double v : data.read_all()) sum += v;
+      const double expect =
+          kCount * (iter * 1000.0) + (kCount - 1.0) * kCount / 2.0;
+      if (sum != expect) {
+        std::printf("node %d: WRONG SUM at iter %d\n", ctx.node(), iter);
+        return;
+      }
+      ctx.barrier();
+    }
+  });
+
+  // 5. Inspect what the protocol did.
+  const auto& counters = cluster.runtime().counters();
+  const auto& net = cluster.runtime().net().stats();
+  std::printf("quickstart OK under bar-u\n");
+  std::printf("  diffs created   %llu\n",
+              static_cast<unsigned long long>(counters.diffs_created));
+  std::printf("  remote misses   %llu\n",
+              static_cast<unsigned long long>(counters.remote_misses));
+  std::printf("  updates pushed  %llu\n",
+              static_cast<unsigned long long>(counters.updates_sent));
+  std::printf("  messages        %llu\n",
+              static_cast<unsigned long long>(net.table_messages()));
+  std::printf("  data moved      %llu kB\n",
+              static_cast<unsigned long long>(net.total_bytes() / 1024));
+  std::printf("  simulated time  %.2f ms\n",
+              sim::to_msec(cluster.elapsed()));
+  return 0;
+}

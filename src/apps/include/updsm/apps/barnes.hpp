@@ -1,0 +1,73 @@
+// barnes: Barnes-Hut n-body, "a version ... from SPLASH-2 that has been
+// modified to use less synchronization, and to perform some tasks (i.e.
+// maketree) serially in order to reduce parallel overhead" (paper §3.1).
+//
+// Per time-step: node 0 rebuilds the shared octree serially; every node
+// then computes forces for a slice of bodies chosen by cost-balancing
+// (interaction counts from the previous iteration, with a deterministic
+// per-iteration rotation), and finally integrates its slice. The sharing
+// pattern is iterative but *not* invariant -- tree shape and partition
+// boundaries drift every iteration -- which is why the paper excludes
+// barnes from bar-s / bar-m (§5.1); overdrive_safe() is false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class BarnesApp final : public Application {
+ public:
+  explicit BarnesApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "barnes"; }
+  [[nodiscard]] bool overdrive_safe() const override { return false; }
+  void allocate(mem::SharedHeap& heap) override;
+
+  [[nodiscard]] std::size_t bodies() const { return nbody_; }
+  [[nodiscard]] std::size_t max_cells() const { return max_cells_; }
+
+  // Read-only shared-layout introspection for tests and analysis tools.
+  [[nodiscard]] GlobalAddr pos_addr() const { return pos_addr_; }
+  [[nodiscard]] GlobalAddr vel_addr() const { return vel_addr_; }
+  [[nodiscard]] GlobalAddr mass_addr() const { return mass_addr_; }
+  [[nodiscard]] GlobalAddr cost_addr() const { return cost_addr_; }
+  [[nodiscard]] GlobalAddr tree_meta_addr() const { return tree_meta_addr_; }
+  [[nodiscard]] GlobalAddr child_addr() const { return child_addr_; }
+  [[nodiscard]] GlobalAddr cell_mass_addr() const { return cell_mass_addr_; }
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  /// Child-slot encoding in the shared tree: 0 empty, +k cell k (1-based),
+  /// -(b+1) body b.
+  static constexpr std::int32_t kEmpty = 0;
+
+  void maketree(dsm::NodeContext& ctx);
+  /// Cost-balanced contiguous body range for `node` at `iter`.
+  [[nodiscard]] Range my_bodies(dsm::NodeContext& ctx, int iter);
+  void compute_forces(dsm::NodeContext& ctx, const Range& mine);
+  void advance(dsm::NodeContext& ctx, const Range& mine);
+
+  std::size_t nbody_;
+  std::size_t max_cells_;
+  // Shared layout.
+  GlobalAddr pos_addr_ = 0;    // 3 doubles per body
+  GlobalAddr vel_addr_ = 0;    // 3 doubles per body
+  GlobalAddr acc_addr_ = 0;    // 3 doubles per body
+  GlobalAddr mass_addr_ = 0;   // 1 double per body
+  GlobalAddr cost_addr_ = 0;   // interactions per body, previous iteration
+  GlobalAddr tree_meta_addr_ = 0;   // [cell_count, root_cx, cy, cz, half]
+  GlobalAddr child_addr_ = 0;       // 8 int32 per cell
+  GlobalAddr cell_mass_addr_ = 0;   // 1 double per cell
+  GlobalAddr cell_com_addr_ = 0;    // 3 doubles per cell
+  GlobalAddr cell_mid_addr_ = 0;    // 3 doubles + half-size per cell (4)
+};
+
+}  // namespace updsm::apps

@@ -1,0 +1,42 @@
+// expl: "a dense stencil kernel typical of those found in iterative PDE
+// solvers" (paper §3.1).
+//
+// Leapfrog time integration of the 2-D wave equation with a spatially
+// varying wave-speed coefficient:
+//   u_next = 2 u - u_prev + c^2 dt^2 laplacian(u)
+// written in the in-place two-field form (u_prev is overwritten with
+// u_next), with two half-steps per time-step so the per-epoch write sets
+// alternate between the two fields in a fixed pattern. The coefficient
+// grid is written once at init and only read afterwards: a read-only
+// sharing component the stencil apps otherwise lack.
+#pragma once
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class ExplApp final : public Application {
+ public:
+  explicit ExplApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "expl"; }
+  void allocate(mem::SharedHeap& heap) override;
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  /// Half-step writing `dst` in place: dst <- 2 src - dst + c^2 lap(src).
+  void half_step(dsm::NodeContext& ctx, GlobalAddr src, GlobalAddr dst);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  GlobalAddr u_addr_ = 0;
+  GlobalAddr v_addr_ = 0;      // the "previous" field
+  GlobalAddr coef_addr_ = 0;   // read-only wave-speed coefficients
+};
+
+}  // namespace updsm::apps

@@ -1,0 +1,62 @@
+// fft: "a three-dimensional implementation of the Fast Fourier Transform
+// that uses matrix transposition to reduce communication" (paper §3.1).
+//
+// Each time-step advances a 3-D heat equation spectrally:
+//   forward 2-D FFTs on owned z-planes, a global transpose (z <-> x), a
+//   1-D FFT + spectral decay + inverse 1-D FFT along the (now local)
+//   z-axis, a transpose back, and inverse 2-D FFTs. The transposes are
+//   all-to-all: every node reads a strided slice of every other node's
+//   planes -- the heaviest data traffic of the suite, matching fft's
+//   Table-1 row.
+//
+// Complex values are stored interleaved (re, im) in a double array; the
+// radix-2 Cooley-Tukey kernels are real implementations validated against
+// a direct DFT in tests/apps/fft_math_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "updsm/apps/application.hpp"
+
+namespace updsm::apps {
+
+/// In-place radix-2 FFT over `n` interleaved complex values.
+/// `inverse` applies the conjugate transform WITHOUT the 1/n scaling
+/// (callers fold normalization into the spectral step).
+void fft_radix2(double* data, std::size_t n, bool inverse);
+
+class FftApp final : public Application {
+ public:
+  explicit FftApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "fft"; }
+  void allocate(mem::SharedHeap& heap) override;
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  // Interleaved-complex offsets into the two cubes.
+  [[nodiscard]] std::size_t idx(std::size_t plane, std::size_t row,
+                                std::size_t col) const {
+    return ((plane * n_ + row) * n_ + col) * 2;
+  }
+
+  /// 2-D FFTs (x then y) over this node's z-planes of `cube`.
+  void planar_fft(dsm::NodeContext& ctx, GlobalAddr cube, bool inverse);
+  /// dst[x][y][z] <- src[z][y][x] for this node's x-planes of dst.
+  void transpose(dsm::NodeContext& ctx, GlobalAddr src, GlobalAddr dst);
+  /// FFT along z (local in the transposed cube), spectral decay, inverse
+  /// FFT along z, and the full 1/n^3 normalization, fused in one pass.
+  void spectral_step(dsm::NodeContext& ctx);
+
+  std::size_t n_;
+  GlobalAddr data_addr_ = 0;     // data[z][y][x]
+  GlobalAddr scratch_addr_ = 0;  // scratch[x][y][z]
+};
+
+}  // namespace updsm::apps

@@ -1,0 +1,38 @@
+// Jacobi: "a stencil kernel combined with a convergence test that checks
+// the residual value using a max reduction" (paper §3.1).
+//
+// Two grids (old/new), copy-back formulation so the per-epoch write sets
+// are iteration-invariant: sweep writes `next` from `cur`, the global max
+// residual is reduced (one extra barrier), then the owned rows are copied
+// back into `cur`. Three epochs per iteration.
+#pragma once
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class JacobiApp final : public Application {
+ public:
+  explicit JacobiApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "jacobi"; }
+  void allocate(mem::SharedHeap& heap) override;
+
+  /// Residual of the last completed iteration (same on every node).
+  [[nodiscard]] double last_residual() const { return last_residual_; }
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  GlobalAddr cur_addr_ = 0;
+  GlobalAddr next_addr_ = 0;
+  double last_residual_ = 0.0;
+};
+
+}  // namespace updsm::apps

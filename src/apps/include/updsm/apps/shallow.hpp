@@ -1,0 +1,68 @@
+// shal / swm: two versions of the shallow-water simulation, "differing
+// primarily in synchronization granularity" (paper §3.1). The SPEC swm
+// kernel structure is kept: loop100 computes the mass fluxes (cu, cv),
+// potential vorticity (z) and height (h) from u, v, p; loop200 advances
+// unew/vnew/pnew; loop300 applies Robert-Asselin time smoothing; periodic
+// boundary rows/columns are copied by the owners of the source rows.
+//
+//   shal -- 256x256, coarse (3 barriers per time-step), all phases
+//           row-partitioned: boundary-row sharing only, little data, good
+//           speedup (the paper's shal);
+//   swm  -- 256x256, fine (6 barriers per time-step) and, crucially, with
+//           the time-smoothing loop's row distribution SHIFTED by half a
+//           block against the other loops' -- the per-loop iteration-
+//           assignment mismatch a parallelizing compiler produces when
+//           consecutive loops are scheduled independently (the paper
+//           transposed tomcatv to fix such locality problems; swm got no
+//           such treatment). Every page of all six fields then crosses
+//           node boundaries each time-step: heavy diff/update traffic and
+//           the paper's dismal swm speedup.
+#pragma once
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class ShallowApp final : public Application {
+ public:
+  ShallowApp(const AppParams& params, std::string_view variant_name,
+             std::size_t base_dim, bool fine_grained,
+             bool shifted_smoothing);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void allocate(mem::SharedHeap& heap) override;
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  // Field order matches the allocation order below.
+  enum Field : int {
+    kU = 0, kV, kP, kUnew, kVnew, kPnew, kUold, kVold, kPold,
+    kCu, kCv, kZ, kH,
+    kFieldCount,
+  };
+
+  [[nodiscard]] Grid2<double> grid(dsm::NodeContext& ctx, Field f) {
+    return Grid2<double>(ctx, addr_[f], rows_, cols_);
+  }
+
+  void loop100(dsm::NodeContext& ctx);  // fluxes, vorticity, height
+  void loop200(dsm::NodeContext& ctx);  // time advance
+  void loop300(dsm::NodeContext& ctx);  // time smoothing
+  /// Copies periodic ghost rows for `fields`; each ghost row is written by
+  /// the node that owns its source row.
+  void wrap_rows(dsm::NodeContext& ctx, std::initializer_list<Field> fields);
+
+  std::string name_;
+  bool fine_;
+  bool shifted_smoothing_;
+  std::size_t rows_;  // interior m rows + 2 ghost rows
+  std::size_t cols_;  // interior n cols + 2 ghost cols
+  GlobalAddr addr_[kFieldCount] = {};
+};
+
+}  // namespace updsm::apps

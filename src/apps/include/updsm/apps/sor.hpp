@@ -1,0 +1,39 @@
+// SOR: "a simple nearest-neighbor stencil" (paper §3.1).
+//
+// Red-black successive over-relaxation on a 2-D grid, rows block-
+// distributed. Each time-step performs the red sweep, a barrier, the black
+// sweep, and a barrier: two epochs per iteration with perfectly invariant
+// per-epoch write sets -- the friendliest possible pattern for update
+// protocols and overdrive.
+#pragma once
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class SorApp final : public Application {
+ public:
+  explicit SorApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "sor"; }
+  void allocate(mem::SharedHeap& heap) override;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  /// One half-step: update points of `color` (0 = red, 1 = black).
+  void sweep(dsm::NodeContext& ctx, int color);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  GlobalAddr grid_addr_ = 0;
+};
+
+}  // namespace updsm::apps

@@ -1,0 +1,42 @@
+// tomcat: the SPEC tomcatv mesh-generation kernel, "a mixture of stencils
+// and reductions"; "we used the APR version of tomcatv, in which the
+// arrays have been transposed to improve data locality" (paper §3.1).
+//
+// Per time-step: (1) a 9-point stencil computes the residuals rx, ry from
+// the mesh coordinates x, y, with the max |residual| reduced globally;
+// (2) a tridiagonal solve relaxes the residuals along each mesh line --
+// thanks to the APR transposition every line is contiguous and node-local;
+// (3) the mesh is updated (x += rx, y += ry). Three epochs per iteration,
+// the first closing with the explicit reduction.
+#pragma once
+
+#include "updsm/apps/application.hpp"
+#include "updsm/apps/grid.hpp"
+
+namespace updsm::apps {
+
+class TomcatvApp final : public Application {
+ public:
+  explicit TomcatvApp(const AppParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "tomcat"; }
+  void allocate(mem::SharedHeap& heap) override;
+
+  [[nodiscard]] double last_residual() const { return last_residual_; }
+
+ protected:
+  void init(dsm::NodeContext& ctx) override;
+  void step(dsm::NodeContext& ctx, int iter) override;
+  [[nodiscard]] double compute_checksum(dsm::NodeContext& ctx) override;
+
+ private:
+  std::size_t n_;  // mesh is n_ x n_ including fixed boundary lines
+  GlobalAddr x_addr_ = 0;
+  GlobalAddr y_addr_ = 0;
+  GlobalAddr rx_addr_ = 0;
+  GlobalAddr ry_addr_ = 0;
+  GlobalAddr d_addr_ = 0;  // tridiagonal scratch diagonal
+  double last_residual_ = 0.0;
+};
+
+}  // namespace updsm::apps

@@ -1,0 +1,40 @@
+#include "updsm/apps/application.hpp"
+
+#include <algorithm>
+
+namespace updsm::apps {
+
+void Application::run(dsm::NodeContext& ctx) {
+  init(ctx);
+  ctx.barrier();
+
+  for (int iter = 1; iter <= total_iterations(); ++iter) {
+    if (iter == params_.warmup_iterations + 1) {
+      // Open the steady-state window. No extra barrier is inserted: the
+      // window engages at the first barrier inside this iteration, keeping
+      // the global barrier sequence strictly periodic -- bar-s / bar-m
+      // predictions are keyed to that periodicity (an aperiodic barrier is
+      // a phase change, which overdrive by design does not tolerate).
+      ctx.begin_measurement();
+    }
+    ctx.iteration_begin();
+    step(ctx, iter);
+  }
+
+  ctx.end_measurement();
+  ctx.barrier();
+
+  if (ctx.node() == 0) {
+    checksum_ = compute_checksum(ctx);
+  }
+  ctx.barrier();
+}
+
+std::size_t scaled_dim(std::size_t base, double scale, std::size_t multiple) {
+  auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * scale + 0.5);
+  scaled = std::max(scaled, multiple);
+  return (scaled / multiple) * multiple;
+}
+
+}  // namespace updsm::apps

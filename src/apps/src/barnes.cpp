@@ -1,0 +1,358 @@
+#include "updsm/apps/barnes.hpp"
+
+#include <cmath>
+
+#include "updsm/common/rng.hpp"
+
+namespace updsm::apps {
+
+namespace {
+constexpr double kTheta = 0.6;      // opening angle
+constexpr double kDt = 0.005;       // leapfrog step
+constexpr double kSoftening2 = 1e-4;
+constexpr std::uint64_t kFlopsPerInteraction = 22;  // incl. rsqrt
+
+double unit_rand(std::uint64_t seed, std::uint64_t k) {
+  return static_cast<double>(splitmix64(seed + k) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+BarnesApp::BarnesApp(const AppParams& params)
+    : Application(params),
+      nbody_(scaled_dim(2048, params.scale * params.scale, 64)),
+      max_cells_(4 * nbody_) {}
+
+void BarnesApp::allocate(mem::SharedHeap& heap) {
+  pos_addr_ = heap.alloc_page_aligned(nbody_ * 3 * 8, "barnes.pos");
+  vel_addr_ = heap.alloc_page_aligned(nbody_ * 3 * 8, "barnes.vel");
+  acc_addr_ = heap.alloc_page_aligned(nbody_ * 3 * 8, "barnes.acc");
+  mass_addr_ = heap.alloc_page_aligned(nbody_ * 8, "barnes.mass");
+  cost_addr_ = heap.alloc_page_aligned(nbody_ * 8, "barnes.cost");
+  tree_meta_addr_ = heap.alloc_page_aligned(5 * 8, "barnes.meta");
+  child_addr_ = heap.alloc_page_aligned(max_cells_ * 8 * 4, "barnes.child");
+  cell_mass_addr_ = heap.alloc_page_aligned(max_cells_ * 8, "barnes.cmass");
+  cell_com_addr_ = heap.alloc_page_aligned(max_cells_ * 3 * 8, "barnes.ccom");
+  cell_mid_addr_ = heap.alloc_page_aligned(max_cells_ * 4 * 8, "barnes.cmid");
+}
+
+void BarnesApp::init(dsm::NodeContext& ctx) {
+  if (ctx.node() != 0) return;
+  auto pos = ctx.array<double>(pos_addr_, nbody_ * 3);
+  auto vel = ctx.array<double>(vel_addr_, nbody_ * 3);
+  auto mass = ctx.array<double>(mass_addr_, nbody_);
+  auto cost = ctx.array<double>(cost_addr_, nbody_);
+  auto p = pos.write_all();
+  auto v = vel.write_all();
+  auto m = mass.write_all();
+  auto c = cost.write_all();
+  // A Plummer-ish clumpy ball: three offset Gaussian-ish clusters.
+  for (std::size_t b = 0; b < nbody_; ++b) {
+    const std::size_t cl = b % 3;
+    const double cx = 0.25 + 0.25 * static_cast<double>(cl);
+    for (int d = 0; d < 3; ++d) {
+      double g = 0.0;
+      for (int s = 0; s < 4; ++s) {
+        g += unit_rand(params_.seed, b * 12 + static_cast<std::size_t>(d) * 4 +
+                                         static_cast<std::size_t>(s));
+      }
+      p[3 * b + static_cast<std::size_t>(d)] = cx + 0.1 * (g - 2.0);
+      v[3 * b + static_cast<std::size_t>(d)] =
+          0.05 *
+          (unit_rand(params_.seed ^ 0xbeefULL,
+                     b * 3 + static_cast<std::size_t>(d)) -
+           0.5);
+    }
+    m[b] = 1.0 / static_cast<double>(nbody_);
+    c[b] = 1.0;
+  }
+}
+
+void BarnesApp::maketree(dsm::NodeContext& ctx) {
+  // Serial tree build at node 0 (paper: maketree performed serially).
+  auto pos = ctx.array<double>(pos_addr_, nbody_ * 3);
+  auto mass = ctx.array<double>(mass_addr_, nbody_);
+  auto p = pos.read_all();
+  auto m = mass.read_all();
+
+  // Bounding cube.
+  double lo = p[0];
+  double hi = p[0];
+  for (const double v : p) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double half = 0.5 * (hi - lo) + 1e-9;
+  const double mid = 0.5 * (hi + lo);
+
+  // Build locally, then publish with bulk writes (same pages dirtied as an
+  // in-place build, far less per-element MMU churn).
+  std::vector<std::int32_t> child(8, kEmpty);
+  std::vector<double> cmid{mid, mid, mid, half};  // 4 per cell
+  std::size_t cells = 1;
+  auto octant = [&](std::size_t cell, std::size_t b) {
+    int oct = 0;
+    for (int d = 0; d < 3; ++d) {
+      if (p[3 * b + static_cast<std::size_t>(d)] >
+          cmid[4 * cell + static_cast<std::size_t>(d)]) {
+        oct |= 1 << d;
+      }
+    }
+    return oct;
+  };
+  auto new_cell = [&](std::size_t parent, int oct) {
+    UPDSM_CHECK_MSG(cells < max_cells_, "barnes tree overflow");
+    const std::size_t c = cells++;
+    child.resize(8 * cells, kEmpty);
+    cmid.resize(4 * cells);
+    const double h = 0.5 * cmid[4 * parent + 3];
+    for (int d = 0; d < 3; ++d) {
+      const double off = (oct & (1 << d)) ? h : -h;
+      cmid[4 * c + static_cast<std::size_t>(d)] =
+          cmid[4 * parent + static_cast<std::size_t>(d)] + off;
+    }
+    cmid[4 * c + 3] = h;
+    return c;
+  };
+
+  for (std::size_t b = 0; b < nbody_; ++b) {
+    std::size_t cur = 0;
+    for (int depth = 0; depth < 64; ++depth) {
+      UPDSM_CHECK_MSG(depth < 63, "barnes tree too deep (duplicate body?)");
+      const int oct = octant(cur, b);
+      // Index, not a reference: new_cell() below reallocates `child`.
+      const std::size_t slot_idx = 8 * cur + static_cast<std::size_t>(oct);
+      const std::int32_t slot = child[slot_idx];
+      if (slot == kEmpty) {
+        child[slot_idx] = -static_cast<std::int32_t>(b) - 1;
+        break;
+      }
+      if (slot > 0) {
+        cur = static_cast<std::size_t>(slot - 1);
+        continue;
+      }
+      // Occupied by a body: split the slot into a new cell and push the
+      // resident body one level down, then retry from the new cell.
+      const std::size_t resident = static_cast<std::size_t>(-slot) - 1;
+      const std::size_t c = new_cell(cur, oct);
+      child[slot_idx] = static_cast<std::int32_t>(c + 1);
+      const int roct = octant(c, resident);
+      child[8 * c + static_cast<std::size_t>(roct)] =
+          -static_cast<std::int32_t>(resident) - 1;
+      cur = c;
+    }
+  }
+
+  // Centre-of-mass pass: children were always created after their parents,
+  // so a reverse sweep sees children before parents.
+  std::vector<double> cmass(cells, 0.0);
+  std::vector<double> ccom(3 * cells, 0.0);
+  for (std::size_t c = cells; c-- > 0;) {
+    double total = 0.0;
+    double com[3] = {0.0, 0.0, 0.0};
+    for (int k = 0; k < 8; ++k) {
+      const std::int32_t slot = child[8 * c + static_cast<std::size_t>(k)];
+      if (slot == kEmpty) continue;
+      double w;
+      const double* src;
+      if (slot > 0) {
+        const auto cc = static_cast<std::size_t>(slot - 1);
+        w = cmass[cc];
+        src = &ccom[3 * cc];
+      } else {
+        const auto b = static_cast<std::size_t>(-slot) - 1;
+        w = m[b];
+        src = &p[3 * b];
+      }
+      total += w;
+      for (int d = 0; d < 3; ++d) {
+        com[static_cast<std::size_t>(d)] +=
+            w * src[static_cast<std::size_t>(d)];
+      }
+    }
+    cmass[c] = total;
+    for (int d = 0; d < 3; ++d) {
+      ccom[3 * c + static_cast<std::size_t>(d)] =
+          total > 0.0 ? com[static_cast<std::size_t>(d)] / total : 0.0;
+    }
+  }
+  ctx.compute_flops(nbody_ * 40 + cells * 30);
+
+  // Publish.
+  auto meta = ctx.array<double>(tree_meta_addr_, 5);
+  auto meta_w = meta.write_all();
+  meta_w[0] = static_cast<double>(cells);
+  meta_w[1] = mid;
+  meta_w[2] = mid;
+  meta_w[3] = mid;
+  meta_w[4] = half;
+  auto child_sh = ctx.array<std::int32_t>(child_addr_, max_cells_ * 8);
+  auto child_w = child_sh.write_view(0, 8 * cells);
+  std::copy(child.begin(), child.end(), child_w.begin());
+  auto cmass_sh = ctx.array<double>(cell_mass_addr_, max_cells_);
+  auto cmass_w = cmass_sh.write_view(0, cells);
+  std::copy(cmass.begin(), cmass.end(), cmass_w.begin());
+  auto ccom_sh = ctx.array<double>(cell_com_addr_, max_cells_ * 3);
+  auto ccom_w = ccom_sh.write_view(0, 3 * cells);
+  std::copy(ccom.begin(), ccom.end(), ccom_w.begin());
+  auto cmid_sh = ctx.array<double>(cell_mid_addr_, max_cells_ * 4);
+  auto cmid_w = cmid_sh.write_view(0, 4 * cells);
+  std::copy(cmid.begin(), cmid.end(), cmid_w.begin());
+}
+
+Range BarnesApp::my_bodies(dsm::NodeContext& ctx, int iter) {
+  // Cost-balanced contiguous partition from the previous iteration's
+  // interaction counts, rotated a little each iteration: iterative but
+  // deliberately non-invariant sharing (paper §5.1 on barnes).
+  auto cost = ctx.array<double>(cost_addr_, nbody_);
+  auto c = cost.read_all();
+  double total = 0.0;
+  for (const double v : c) total += v;
+  const int nodes = ctx.num_nodes();
+  // Rotates the partition boundaries by up to ~half a node's share across
+  // a 5-iteration cycle: work moves between nodes every iteration, like
+  // the SPLASH version's nondeterministic tree traversals (§5.1).
+  const double jitter = 0.12 * static_cast<double>(iter % 5);
+  const double lo_target =
+      total * ((static_cast<double>(ctx.node()) + jitter) /
+               static_cast<double>(nodes));
+  const double hi_target =
+      total * ((static_cast<double>(ctx.node()) + 1.0 + jitter) /
+               static_cast<double>(nodes));
+  Range r{nbody_, nbody_};
+  double acc = 0.0;
+  for (std::size_t b = 0; b < nbody_; ++b) {
+    if (acc >= lo_target && b < r.lo) r.lo = b;
+    acc += c[b];
+    if (acc >= hi_target) {
+      r.hi = b + 1;
+      break;
+    }
+  }
+  if (ctx.node() == 0) r.lo = 0;
+  if (ctx.node() == nodes - 1) r.hi = nbody_;
+  if (r.lo > r.hi) r.lo = r.hi;
+  return r;
+}
+
+void BarnesApp::compute_forces(dsm::NodeContext& ctx, const Range& mine) {
+  auto pos = ctx.array<double>(pos_addr_, nbody_ * 3);
+  auto mass = ctx.array<double>(mass_addr_, nbody_);
+  auto meta = ctx.array<double>(tree_meta_addr_, 5);
+  auto child_sh = ctx.array<std::int32_t>(child_addr_, max_cells_ * 8);
+  auto cmass_sh = ctx.array<double>(cell_mass_addr_, max_cells_);
+  auto ccom_sh = ctx.array<double>(cell_com_addr_, max_cells_ * 3);
+  auto cmid_sh = ctx.array<double>(cell_mid_addr_, max_cells_ * 4);
+  auto acc_sh = ctx.array<double>(acc_addr_, nbody_ * 3);
+  auto cost_sh = ctx.array<double>(cost_addr_, nbody_);
+
+  const auto cells = static_cast<std::size_t>(meta.get(0));
+  auto p = pos.read_all();
+  auto m = mass.read_all();
+  auto child = child_sh.read_view(0, 8 * cells);
+  auto cmass = cmass_sh.read_view(0, cells);
+  auto ccom = ccom_sh.read_view(0, 3 * cells);
+  auto cmid = cmid_sh.read_view(0, 4 * cells);
+  if (mine.size() == 0) {
+    ctx.compute_flops(0);
+    return;
+  }
+  auto acc_w = acc_sh.write_view(3 * mine.lo, 3 * mine.hi);
+  auto cost_w = cost_sh.write_view(mine.lo, mine.hi);
+
+  std::uint64_t interactions = 0;
+  std::vector<std::int32_t> stack;
+  for (std::size_t b = mine.lo; b < mine.hi; ++b) {
+    const double bx = p[3 * b];
+    const double by = p[3 * b + 1];
+    const double bz = p[3 * b + 2];
+    double ax = 0.0;
+    double ay = 0.0;
+    double az = 0.0;
+    std::uint64_t count = 0;
+    auto interact = [&](double w, double x, double y, double z) {
+      const double dx = x - bx;
+      const double dy = y - by;
+      const double dz = z - bz;
+      const double r2 = dx * dx + dy * dy + dz * dz + kSoftening2;
+      const double inv = 1.0 / std::sqrt(r2);
+      const double f = w * inv * inv * inv;
+      ax += f * dx;
+      ay += f * dy;
+      az += f * dz;
+      ++count;
+    };
+    stack.push_back(1);  // root cell, 1-based
+    while (!stack.empty()) {
+      const std::int32_t slot = stack.back();
+      stack.pop_back();
+      if (slot < 0) {
+        const auto ob = static_cast<std::size_t>(-slot) - 1;
+        if (ob != b) interact(m[ob], p[3 * ob], p[3 * ob + 1], p[3 * ob + 2]);
+        continue;
+      }
+      const auto c = static_cast<std::size_t>(slot - 1);
+      const double dx = ccom[3 * c] - bx;
+      const double dy = ccom[3 * c + 1] - by;
+      const double dz = ccom[3 * c + 2] - bz;
+      const double dist2 = dx * dx + dy * dy + dz * dz;
+      const double size = 2.0 * cmid[4 * c + 3];
+      if (size * size < kTheta * kTheta * dist2) {
+        interact(cmass[c], ccom[3 * c], ccom[3 * c + 1], ccom[3 * c + 2]);
+      } else {
+        for (int k = 0; k < 8; ++k) {
+          const std::int32_t ch = child[8 * c + static_cast<std::size_t>(k)];
+          if (ch != kEmpty) stack.push_back(ch);
+        }
+      }
+    }
+    acc_w[3 * (b - mine.lo)] = ax;
+    acc_w[3 * (b - mine.lo) + 1] = ay;
+    acc_w[3 * (b - mine.lo) + 2] = az;
+    cost_w[b - mine.lo] = static_cast<double>(count);
+    interactions += count;
+  }
+  ctx.compute_flops(interactions * kFlopsPerInteraction);
+}
+
+void BarnesApp::advance(dsm::NodeContext& ctx, const Range& mine) {
+  if (mine.size() == 0) return;
+  auto pos = ctx.array<double>(pos_addr_, nbody_ * 3);
+  auto vel = ctx.array<double>(vel_addr_, nbody_ * 3);
+  auto acc = ctx.array<double>(acc_addr_, nbody_ * 3);
+  auto a = acc.read_view(3 * mine.lo, 3 * mine.hi);
+  auto v = vel.write_view(3 * mine.lo, 3 * mine.hi);
+  auto x = pos.write_view(3 * mine.lo, 3 * mine.hi);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    v[i] += a[i] * kDt;
+    x[i] += v[i] * kDt;
+  }
+  ctx.compute_flops(a.size() * 4);
+}
+
+void BarnesApp::step(dsm::NodeContext& ctx, int iter) {
+  // The partition is computed during the maketree epoch: `cost` was last
+  // written in the previous force epoch and nobody writes it now, so every
+  // node reads committed values. (Reading it during the force epoch would
+  // be a same-page anti-dependence on the nodes concurrently rewriting
+  // their cost slices -- legal under homeless LRC but not under home-based
+  // protocols, whose faults fetch the home's live frame.)
+  const Range mine = my_bodies(ctx, iter);
+  if (ctx.node() == 0) maketree(ctx);
+  ctx.barrier();
+  compute_forces(ctx, mine);
+  ctx.barrier();
+  advance(ctx, mine);
+  ctx.barrier();
+}
+
+double BarnesApp::compute_checksum(dsm::NodeContext& ctx) {
+  auto pos = ctx.array<double>(pos_addr_, nbody_ * 3);
+  auto vel = ctx.array<double>(vel_addr_, nbody_ * 3);
+  double sum = 0.0;
+  auto p = pos.read_all();
+  auto v = vel.read_all();
+  for (std::size_t i = 0; i < p.size(); ++i) sum += p[i] + 0.1 * v[i];
+  return sum;
+}
+
+}  // namespace updsm::apps

@@ -1,0 +1,86 @@
+#include "updsm/apps/expl.hpp"
+
+#include <cmath>
+
+namespace updsm::apps {
+
+namespace {
+constexpr double kDt2 = 0.05;  // dt^2 with unit grid spacing
+constexpr std::uint64_t kFlopsPerPoint = 9;
+}  // namespace
+
+ExplApp::ExplApp(const AppParams& params)
+    : Application(params),
+      rows_(scaled_dim(480, params.scale, 16) + 2),
+      cols_(scaled_dim(480, params.scale, 16)) {}
+
+void ExplApp::allocate(mem::SharedHeap& heap) {
+  const std::uint64_t bytes = rows_ * cols_ * sizeof(double);
+  u_addr_ = heap.alloc_page_aligned(bytes, "expl.u");
+  v_addr_ = heap.alloc_page_aligned(bytes, "expl.v");
+  coef_addr_ = heap.alloc_page_aligned(bytes, "expl.coef");
+}
+
+void ExplApp::init(dsm::NodeContext& ctx) {
+  if (ctx.node() != 0) return;
+  Grid2<double> u(ctx, u_addr_, rows_, cols_);
+  Grid2<double> v(ctx, v_addr_, rows_, cols_);
+  Grid2<double> coef(ctx, coef_addr_, rows_, cols_);
+  const double cx = static_cast<double>(cols_) / 2.0;
+  const double cy = static_cast<double>(rows_) / 2.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto u_row = u.row_w(r);
+    auto v_row = v.row_w(r);
+    auto c_row = coef.row_w(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      // A Gaussian pulse at the centre, at rest; layered medium.
+      const double dx = (static_cast<double>(c) - cx) / 24.0;
+      const double dy = (static_cast<double>(r) - cy) / 24.0;
+      const double pulse = std::exp(-(dx * dx + dy * dy));
+      u_row[c] = pulse;
+      v_row[c] = pulse;
+      c_row[c] = 0.5 + 0.3 * static_cast<double>((r / 16) % 3);
+    }
+  }
+}
+
+void ExplApp::half_step(dsm::NodeContext& ctx, GlobalAddr src,
+                        GlobalAddr dst) {
+  Grid2<double> s(ctx, src, rows_, cols_);
+  Grid2<double> d(ctx, dst, rows_, cols_);
+  Grid2<double> coef(ctx, coef_addr_, rows_, cols_);
+  const Range mine = block_range(rows_ - 2, ctx.num_nodes(), ctx.node());
+  std::uint64_t points = 0;
+  for (std::size_t r = 1 + mine.lo; r < 1 + mine.hi; ++r) {
+    auto up = s.row(r - 1);
+    auto mid = s.row(r);
+    auto down = s.row(r + 1);
+    auto cf = coef.row(r);
+    auto out = d.row_w(r);
+    for (std::size_t c = 1; c + 1 < cols_; ++c) {
+      const double lap =
+          up[c] + down[c] + mid[c - 1] + mid[c + 1] - 4.0 * mid[c];
+      out[c] = 2.0 * mid[c] - out[c] + cf[c] * cf[c] * kDt2 * lap;
+      ++points;
+    }
+  }
+  ctx.compute_flops(points * kFlopsPerPoint);
+}
+
+void ExplApp::step(dsm::NodeContext& ctx, int /*iter*/) {
+  half_step(ctx, u_addr_, v_addr_);  // v becomes the newest field
+  ctx.barrier();
+  half_step(ctx, v_addr_, u_addr_);  // u becomes the newest field
+  ctx.barrier();
+}
+
+double ExplApp::compute_checksum(dsm::NodeContext& ctx) {
+  Grid2<double> u(ctx, u_addr_, rows_, cols_);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const double x : u.row(r)) sum += x;
+  }
+  return sum;
+}
+
+}  // namespace updsm::apps

@@ -1,0 +1,272 @@
+#include "updsm/apps/shallow.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace updsm::apps {
+
+namespace {
+constexpr double kDx = 1e5;
+constexpr double kDy = 1e5;
+constexpr double kDt = 90.0;
+constexpr double kAlpha = 0.001;  // Robert-Asselin filter coefficient
+}  // namespace
+
+ShallowApp::ShallowApp(const AppParams& params, std::string_view variant_name,
+                       std::size_t base_dim, bool fine_grained,
+                       bool shifted_smoothing)
+    : Application(params),
+      name_(variant_name),
+      fine_(fine_grained),
+      shifted_smoothing_(shifted_smoothing),
+      rows_(scaled_dim(base_dim, params.scale, 16) + 2),
+      cols_(scaled_dim(base_dim, params.scale, 16) + 2) {}
+
+void ShallowApp::allocate(mem::SharedHeap& heap) {
+  static constexpr const char* kNames[kFieldCount] = {
+      "u", "v", "p", "unew", "vnew", "pnew", "uold", "vold", "pold",
+      "cu", "cv", "z", "h"};
+  for (int f = 0; f < kFieldCount; ++f) {
+    addr_[f] = heap.alloc_page_aligned(rows_ * cols_ * sizeof(double),
+                                       std::string(name_) + "." + kNames[f]);
+  }
+}
+
+void ShallowApp::init(dsm::NodeContext& ctx) {
+  if (ctx.node() != 0) return;
+  auto u = grid(ctx, kU);
+  auto v = grid(ctx, kV);
+  auto p = grid(ctx, kP);
+  auto uold = grid(ctx, kUold);
+  auto vold = grid(ctx, kVold);
+  auto pold = grid(ctx, kPold);
+  const double el = static_cast<double>(cols_ - 2) * kDx;
+  const double pi2 = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    auto u_row = u.row_w(i);
+    auto v_row = v.row_w(i);
+    auto p_row = p.row_w(i);
+    auto uo = uold.row_w(i);
+    auto vo = vold.row_w(i);
+    auto po = pold.row_w(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      // The SPEC initial condition: a doubly periodic stream function.
+      const double x = static_cast<double>(i) * kDx;
+      const double y = static_cast<double>(j) * kDy;
+      const double psi_like =
+          std::sin(pi2 * x / el) * std::cos(pi2 * y / el);
+      u_row[j] = -50.0 * psi_like;
+      v_row[j] = 50.0 * std::cos(pi2 * x / el) * std::sin(pi2 * y / el);
+      p_row[j] = 5000.0 + 500.0 * psi_like;
+      uo[j] = u_row[j];
+      vo[j] = v_row[j];
+      po[j] = p_row[j];
+    }
+  }
+}
+
+void ShallowApp::wrap_rows(dsm::NodeContext& ctx,
+                           std::initializer_list<Field> fields) {
+  // Periodic rows: ghost row 0 mirrors interior row m; ghost row m+1
+  // mirrors interior row 1. The owner of the *source* row writes the ghost
+  // (it already holds the data), so ghost pages are written remotely --
+  // deliberately un-"owner-computes" traffic, as in the SPEC code's copy
+  // loops.
+  const std::size_t m = rows_ - 2;
+  const Range mine = block_range(m, ctx.num_nodes(), ctx.node());
+  for (const Field f : fields) {
+    auto g = grid(ctx, f);
+    if (mine.contains(m - 1)) {  // owner of interior row m
+      auto src = g.row(m);
+      auto dst = g.row_w(0);
+      for (std::size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+    }
+    if (mine.contains(0)) {  // owner of interior row 1
+      auto src = g.row(1);
+      auto dst = g.row_w(rows_ - 1);
+      for (std::size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+    }
+  }
+}
+
+void ShallowApp::loop100(dsm::NodeContext& ctx) {
+  auto u = grid(ctx, kU);
+  auto v = grid(ctx, kV);
+  auto p = grid(ctx, kP);
+  auto cu = grid(ctx, kCu);
+  auto cv = grid(ctx, kCv);
+  auto z = grid(ctx, kZ);
+  auto h = grid(ctx, kH);
+  const double fsdx = 4.0 / kDx;
+  const double fsdy = 4.0 / kDy;
+  const std::size_t m = rows_ - 2;
+  const Range mine = block_range(m, ctx.num_nodes(), ctx.node());
+  std::uint64_t points = 0;
+  for (std::size_t i = 1 + mine.lo; i < 1 + mine.hi; ++i) {
+    auto p_m1 = p.row(i - 1);
+    auto p_0 = p.row(i);
+    auto u_0 = u.row(i);
+    auto u_p1 = u.row(i + 1);
+    auto v_m1 = v.row(i - 1);
+    auto v_0 = v.row(i);
+    auto cu_w = cu.row_w(i);
+    auto cv_w = cv.row_w(i);
+    auto z_w = z.row_w(i);
+    auto h_w = h.row_w(i);
+    for (std::size_t j = 1; j + 1 < cols_; ++j) {
+      cu_w[j] = 0.5 * (p_0[j] + p_m1[j]) * u_0[j];
+      cv_w[j] = 0.5 * (p_0[j] + p_0[j - 1]) * v_0[j];
+      z_w[j] = (fsdx * (v_0[j] - v_m1[j]) - fsdy * (u_0[j] - u_0[j - 1])) /
+               (0.25 * (p_m1[j - 1] + p_m1[j] + p_0[j] + p_0[j - 1]));
+      h_w[j] = p_0[j] + 0.25 * (u_p1[j] * u_p1[j] + u_0[j] * u_0[j] +
+                                v_0[j + 1] * v_0[j + 1] + v_0[j] * v_0[j]);
+      // Periodic columns within the owned row.
+      ++points;
+    }
+    cu_w[0] = cu_w[cols_ - 2];
+    cu_w[cols_ - 1] = cu_w[1];
+    cv_w[0] = cv_w[cols_ - 2];
+    cv_w[cols_ - 1] = cv_w[1];
+    z_w[0] = z_w[cols_ - 2];
+    z_w[cols_ - 1] = z_w[1];
+    h_w[0] = h_w[cols_ - 2];
+    h_w[cols_ - 1] = h_w[1];
+  }
+  ctx.compute_flops(points * 24);
+}
+
+void ShallowApp::loop200(dsm::NodeContext& ctx) {
+  auto uold = grid(ctx, kUold);
+  auto vold = grid(ctx, kVold);
+  auto pold = grid(ctx, kPold);
+  auto unew = grid(ctx, kUnew);
+  auto vnew = grid(ctx, kVnew);
+  auto pnew = grid(ctx, kPnew);
+  auto cu = grid(ctx, kCu);
+  auto cv = grid(ctx, kCv);
+  auto z = grid(ctx, kZ);
+  auto h = grid(ctx, kH);
+  const double tdts8 = kDt / 4.0;
+  const double tdtsdx = kDt / kDx;
+  const double tdtsdy = kDt / kDy;
+  const std::size_t m = rows_ - 2;
+  const Range mine = block_range(m, ctx.num_nodes(), ctx.node());
+  std::uint64_t points = 0;
+  for (std::size_t i = 1 + mine.lo; i < 1 + mine.hi; ++i) {
+    auto z_0 = z.row(i);
+    auto z_p1 = z.row(i + 1);
+    auto cv_0 = cv.row(i);
+    auto cv_p1 = cv.row(i + 1);
+    auto cu_0 = cu.row(i);
+    auto cu_m1 = cu.row(i - 1);
+    auto h_0 = h.row(i);
+    auto h_m1 = h.row(i - 1);
+    auto uo = uold.row(i);
+    auto vo = vold.row(i);
+    auto po = pold.row(i);
+    auto un = unew.row_w(i);
+    auto vn = vnew.row_w(i);
+    auto pn = pnew.row_w(i);
+    for (std::size_t j = 1; j + 1 < cols_; ++j) {
+      un[j] = uo[j] +
+              tdts8 * (z_p1[j] + z_0[j]) *
+                  (cv_p1[j] + cv_p1[j - 1] + cv_0[j] + cv_0[j - 1]) * 0.25 -
+              tdtsdx * (h_0[j] - h_m1[j]);
+      vn[j] = vo[j] -
+              tdts8 * (z_0[j + 1] + z_0[j]) *
+                  (cu_0[j + 1] + cu_0[j] + cu_m1[j + 1] + cu_m1[j]) * 0.25 -
+              tdtsdy * (h_0[j] - h_0[j - 1]);
+      pn[j] = po[j] - tdtsdx * (cu_0[j] - cu_m1[j]) -
+              tdtsdy * (cv_0[j] - cv_0[j - 1]);
+      ++points;
+    }
+    un[0] = un[cols_ - 2];
+    un[cols_ - 1] = un[1];
+    vn[0] = vn[cols_ - 2];
+    vn[cols_ - 1] = vn[1];
+    pn[0] = pn[cols_ - 2];
+    pn[cols_ - 1] = pn[1];
+  }
+  ctx.compute_flops(points * 28);
+}
+
+void ShallowApp::loop300(dsm::NodeContext& ctx) {
+  auto u = grid(ctx, kU);
+  auto v = grid(ctx, kV);
+  auto p = grid(ctx, kP);
+  auto uold = grid(ctx, kUold);
+  auto vold = grid(ctx, kVold);
+  auto pold = grid(ctx, kPold);
+  auto unew = grid(ctx, kUnew);
+  auto vnew = grid(ctx, kVnew);
+  auto pnew = grid(ctx, kPnew);
+  std::uint64_t points = 0;
+
+  // shal: the smoothing runs over the same row distribution as loops 100
+  // and 200 (perfect locality). swm: the smoothing's distribution is
+  // SHIFTED by half a block -- the kind of per-loop iteration-assignment
+  // mismatch a parallelizing compiler produces when consecutive loops are
+  // scheduled independently. Every page of all six arrays then crosses
+  // node boundaries once per time-step: the paper's swm pathology.
+  const std::size_t m = rows_ - 2;
+  const Range aligned = block_range(m, ctx.num_nodes(), ctx.node());
+  const std::size_t shift =
+      shifted_smoothing_ ? (m / static_cast<std::size_t>(ctx.num_nodes())) / 2
+                         : 0;
+  const std::size_t start = (aligned.lo + shift) % m;
+  for (std::size_t k = 0; k < aligned.size(); ++k) {
+    const std::size_t i = 1 + (start + k) % m;
+    auto un = unew.row(i);
+    auto vn = vnew.row(i);
+    auto pn = pnew.row(i);
+    auto u_w = u.row_w(i);
+    auto v_w = v.row_w(i);
+    auto p_w = p.row_w(i);
+    auto uo = uold.row_w(i);
+    auto vo = vold.row_w(i);
+    auto po = pold.row_w(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      uo[j] = u_w[j] + kAlpha * (un[j] - 2.0 * u_w[j] + uo[j]);
+      vo[j] = v_w[j] + kAlpha * (vn[j] - 2.0 * v_w[j] + vo[j]);
+      po[j] = p_w[j] + kAlpha * (pn[j] - 2.0 * p_w[j] + po[j]);
+      u_w[j] = un[j];
+      v_w[j] = vn[j];
+      p_w[j] = pn[j];
+      ++points;
+    }
+  }
+  ctx.compute_flops(points * 15);
+}
+
+void ShallowApp::step(dsm::NodeContext& ctx, int /*iter*/) {
+  loop100(ctx);
+  if (fine_) ctx.barrier();
+  wrap_rows(ctx, {kCu, kCv, kZ, kH});
+  ctx.barrier();
+
+  loop200(ctx);
+  if (fine_) ctx.barrier();
+  wrap_rows(ctx, {kUnew, kVnew, kPnew});
+  ctx.barrier();
+
+  loop300(ctx);
+  if (fine_) ctx.barrier();
+  wrap_rows(ctx, {kU, kV, kP, kUold, kVold, kPold});
+  ctx.barrier();
+}
+
+double ShallowApp::compute_checksum(dsm::NodeContext& ctx) {
+  auto p = grid(ctx, kP);
+  auto u = grid(ctx, kU);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    auto p_row = p.row(i);
+    auto u_row = u.row(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      sum += p_row[j] * 1e-6 + u_row[j] * 1e-4;
+    }
+  }
+  return sum;
+}
+
+}  // namespace updsm::apps

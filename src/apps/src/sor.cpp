@@ -1,0 +1,69 @@
+#include "updsm/apps/sor.hpp"
+
+namespace updsm::apps {
+
+namespace {
+constexpr double kOmega = 1.5;
+/// mults+adds per updated point in the sweep loop below.
+constexpr std::uint64_t kFlopsPerPoint = 7;
+}  // namespace
+
+SorApp::SorApp(const AppParams& params)
+    : Application(params),
+      rows_(scaled_dim(512, params.scale, 16) + 2),  // +2 boundary rows
+      cols_(scaled_dim(512, params.scale, 16)) {}
+
+void SorApp::allocate(mem::SharedHeap& heap) {
+  grid_addr_ =
+      heap.alloc_page_aligned(rows_ * cols_ * sizeof(double), "sor.grid");
+}
+
+void SorApp::init(dsm::NodeContext& ctx) {
+  if (ctx.node() != 0) return;
+  Grid2<double> g(ctx, grid_addr_, rows_, cols_);
+  // Hot left/top edges, cold interior: a classic heat-plate setup.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto row = g.row_w(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      row[c] = (r == 0 || c == 0) ? 100.0 : 0.0;
+    }
+  }
+}
+
+void SorApp::sweep(dsm::NodeContext& ctx, int color) {
+  Grid2<double> g(ctx, grid_addr_, rows_, cols_);
+  const Range mine = block_range(rows_ - 2, ctx.num_nodes(), ctx.node());
+  std::uint64_t points = 0;
+  for (std::size_t r = 1 + mine.lo; r < 1 + mine.hi; ++r) {
+    auto up = g.row(r - 1);
+    auto down = g.row(r + 1);
+    auto cur = g.row_w(r);
+    const std::size_t start =
+        1 + ((r + static_cast<std::size_t>(color)) % 2);
+    for (std::size_t c = start; c + 1 < cols_; c += 2) {
+      const double res =
+          0.25 * (up[c] + down[c] + cur[c - 1] + cur[c + 1]) - cur[c];
+      cur[c] += kOmega * res;
+      ++points;
+    }
+  }
+  ctx.compute_flops(points * kFlopsPerPoint);
+}
+
+void SorApp::step(dsm::NodeContext& ctx, int /*iter*/) {
+  sweep(ctx, 0);
+  ctx.barrier();
+  sweep(ctx, 1);
+  ctx.barrier();
+}
+
+double SorApp::compute_checksum(dsm::NodeContext& ctx) {
+  Grid2<double> g(ctx, grid_addr_, rows_, cols_);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const double v : g.row(r)) sum += v * 1e-3;
+  }
+  return sum;
+}
+
+}  // namespace updsm::apps

@@ -1,0 +1,136 @@
+#include "updsm/apps/tomcatv.hpp"
+
+#include <cmath>
+
+namespace updsm::apps {
+
+namespace {
+constexpr double kRelax = 0.5;  // residual relaxation factor
+}
+
+TomcatvApp::TomcatvApp(const AppParams& params)
+    : Application(params), n_(scaled_dim(256, params.scale, 16) + 2) {}
+
+void TomcatvApp::allocate(mem::SharedHeap& heap) {
+  const std::uint64_t bytes = n_ * n_ * sizeof(double);
+  x_addr_ = heap.alloc_page_aligned(bytes, "tomcat.x");
+  y_addr_ = heap.alloc_page_aligned(bytes, "tomcat.y");
+  rx_addr_ = heap.alloc_page_aligned(bytes, "tomcat.rx");
+  ry_addr_ = heap.alloc_page_aligned(bytes, "tomcat.ry");
+  d_addr_ = heap.alloc_page_aligned(bytes, "tomcat.d");
+}
+
+void TomcatvApp::init(dsm::NodeContext& ctx) {
+  if (ctx.node() != 0) return;
+  Grid2<double> x(ctx, x_addr_, n_, n_);
+  Grid2<double> y(ctx, y_addr_, n_, n_);
+  // A sheared, unevenly spaced initial mesh the solver will smooth out.
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto xr = x.row_w(i);
+    auto yr = y.row_w(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double s = static_cast<double>(i) / static_cast<double>(n_ - 1);
+      const double t = static_cast<double>(j) / static_cast<double>(n_ - 1);
+      xr[j] = t + 0.25 * s * t * (1.0 - t);
+      yr[j] = s + 0.15 * std::sin(3.0 * s) * t;
+    }
+  }
+}
+
+void TomcatvApp::step(dsm::NodeContext& ctx, int /*iter*/) {
+  Grid2<double> x(ctx, x_addr_, n_, n_);
+  Grid2<double> y(ctx, y_addr_, n_, n_);
+  Grid2<double> rx(ctx, rx_addr_, n_, n_);
+  Grid2<double> ry(ctx, ry_addr_, n_, n_);
+  Grid2<double> d(ctx, d_addr_, n_, n_);
+  const Range mine = block_range(n_ - 2, ctx.num_nodes(), ctx.node());
+  std::uint64_t points = 0;
+
+  // Phase 1: 9-point residual stencil; interior lines only.
+  double residual = 0.0;
+  for (std::size_t i = 1 + mine.lo; i < 1 + mine.hi; ++i) {
+    auto x_m1 = x.row(i - 1);
+    auto x_0 = x.row(i);
+    auto x_p1 = x.row(i + 1);
+    auto y_m1 = y.row(i - 1);
+    auto y_0 = y.row(i);
+    auto y_p1 = y.row(i + 1);
+    auto rx_w = rx.row_w(i);
+    auto ry_w = ry.row_w(i);
+    for (std::size_t j = 1; j + 1 < n_; ++j) {
+      const double xx = x_0[j + 1] - x_0[j - 1];
+      const double yx = y_0[j + 1] - y_0[j - 1];
+      const double xy = x_p1[j] - x_m1[j];
+      const double yy = y_p1[j] - y_m1[j];
+      const double a = 0.25 * (xy * xy + yy * yy);
+      const double b = 0.25 * (xx * xx + yx * yx);
+      const double c = 0.125 * (xx * xy + yx * yy);
+      // Second differences (the elliptic operator applied to the mesh).
+      const double pxx = x_0[j + 1] - 2.0 * x_0[j] + x_0[j - 1];
+      const double qxx = y_0[j + 1] - 2.0 * y_0[j] + y_0[j - 1];
+      const double pyy = x_p1[j] - 2.0 * x_0[j] + x_m1[j];
+      const double qyy = y_p1[j] - 2.0 * y_0[j] + y_m1[j];
+      const double pxy =
+          x_p1[j + 1] - x_p1[j - 1] - x_m1[j + 1] + x_m1[j - 1];
+      const double qxy =
+          y_p1[j + 1] - y_p1[j - 1] - y_m1[j + 1] + y_m1[j - 1];
+      rx_w[j] = a * pxx + b * pyy - c * pxy;
+      ry_w[j] = a * qxx + b * qyy - c * qxy;
+      residual = std::max(residual,
+                          std::max(std::abs(rx_w[j]), std::abs(ry_w[j])));
+      ++points;
+    }
+    rx_w[0] = rx_w[n_ - 1] = 0.0;
+    ry_w[0] = ry_w[n_ - 1] = 0.0;
+  }
+  ctx.compute_flops(points * 40);
+  last_residual_ = ctx.reduce_max(residual);  // closes the epoch
+
+  // Phase 2: tridiagonal relaxation along each owned line (APR transposed
+  // layout makes lines contiguous and the solve purely local).
+  for (std::size_t i = 1 + mine.lo; i < 1 + mine.hi; ++i) {
+    auto rx_w = rx.row_w(i);
+    auto ry_w = ry.row_w(i);
+    auto d_w = d.row_w(i);
+    d_w[1] = 1.0 / (2.0 + kRelax);
+    for (std::size_t j = 2; j + 1 < n_; ++j) {
+      d_w[j] = 1.0 / (2.0 + kRelax - d_w[j - 1]);
+      rx_w[j] = (rx_w[j] + rx_w[j - 1]) * d_w[j];
+      ry_w[j] = (ry_w[j] + ry_w[j - 1]) * d_w[j];
+    }
+    for (std::size_t j = n_ - 3; j >= 1; --j) {
+      rx_w[j] += d_w[j] * rx_w[j + 1];
+      ry_w[j] += d_w[j] * ry_w[j + 1];
+    }
+  }
+  ctx.compute_flops(points * 14);
+  ctx.barrier();
+
+  // Phase 3: mesh update over owned lines.
+  for (std::size_t i = 1 + mine.lo; i < 1 + mine.hi; ++i) {
+    auto rx_r = rx.row(i);
+    auto ry_r = ry.row(i);
+    auto x_w = x.row_w(i);
+    auto y_w = y.row_w(i);
+    for (std::size_t j = 1; j + 1 < n_; ++j) {
+      x_w[j] += kRelax * rx_r[j];
+      y_w[j] += kRelax * ry_r[j];
+    }
+  }
+  ctx.compute_flops(points * 4);
+  ctx.barrier();
+}
+
+double TomcatvApp::compute_checksum(dsm::NodeContext& ctx) {
+  Grid2<double> x(ctx, x_addr_, n_, n_);
+  Grid2<double> y(ctx, y_addr_, n_, n_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto xr = x.row(i);
+    auto yr = y.row(i);
+    for (std::size_t j = 0; j < n_; ++j) sum += xr[j] - yr[j];
+  }
+  return sum + last_residual_;
+}
+
+}  // namespace updsm::apps

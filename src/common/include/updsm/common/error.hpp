@@ -1,0 +1,88 @@
+// Error types and always-on checking macros.
+//
+// The simulator is a correctness tool first: every internal invariant is
+// checked in all build types. Violations throw typed exceptions so that
+// tests can assert on failure modes (e.g. a bar-m consistency divergence)
+// without aborting the whole test binary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace updsm {
+
+/// Base class for every error raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An internal invariant of the simulator or a protocol was violated.
+/// Indicates a bug in this library, never in user code.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// The application used the DSM API incorrectly (mismatched barriers,
+/// out-of-bounds shared access, attaching past the end of the heap, ...).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// A coherence protocol detected a condition it cannot handle, e.g. bar-s
+/// observing an unpredicted write while in overdrive with revert disabled
+/// (the paper's prototype "complains loudly and exits" -- we throw this).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  if (kind[0] == 'U') throw UsageError(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace updsm
+
+/// Always-on internal invariant check. Throws InternalError on failure.
+#define UPDSM_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::updsm::detail::throw_check_failure("CHECK", #expr, __FILE__,          \
+                                           __LINE__, "");                     \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check with a streamed message:
+///   UPDSM_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define UPDSM_CHECK_MSG(expr, stream_expr)                                    \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream updsm_check_os_;                                     \
+      updsm_check_os_ << stream_expr;                                         \
+      ::updsm::detail::throw_check_failure("CHECK", #expr, __FILE__,          \
+                                           __LINE__, updsm_check_os_.str()); \
+    }                                                                         \
+  } while (false)
+
+/// Check of a precondition on *user* input. Throws UsageError on failure.
+#define UPDSM_REQUIRE(expr, stream_expr)                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream updsm_check_os_;                                     \
+      updsm_check_os_ << stream_expr;                                         \
+      ::updsm::detail::throw_check_failure("USAGE-CHECK", #expr, __FILE__,    \
+                                           __LINE__, updsm_check_os_.str()); \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (message-drop failure injection,
+// barnes-hut work perturbation, synthetic datasets) flows through these
+// generators so that every run is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace updsm {
+
+/// SplitMix64 -- used to expand a user seed into stream seeds and as a
+/// cheap stateless hash for "location-dependent" cost jitter (see
+/// sim::OsCostModel).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-expressed). Fast, high quality, tiny state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9d2c5680u) {
+    // Seed the full state via splitmix64 as the authors recommend.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is overkill here;
+    // modulo bias is irrelevant for simulation jitter, but use the
+    // high bits which are the strongest.
+    return ((*this)() >> 11) % bound;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace updsm

@@ -1,0 +1,86 @@
+// Strongly-typed identifiers used across the whole library.
+//
+// Node ids, page ids and epoch ids are all small integers; mixing them up is
+// the classic DSM implementation bug (the paper's protocols index three or
+// four tables by different id spaces in the same function). StrongId makes
+// such a mix-up a compile error at zero runtime cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace updsm {
+
+/// A zero-cost strongly typed integer id. `Tag` is an empty struct that
+/// distinguishes id spaces at compile time.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.v_ >= b.v_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_ = 0;
+};
+
+struct NodeTag {};
+struct PageTag {};
+struct EpochTag {};
+struct DiffTag {};
+
+/// Identifies one DSM process ("node" in the paper's SP-2 terminology).
+using NodeId = StrongId<NodeTag>;
+/// Identifies one shared virtual-memory page (index into the shared segment).
+using PageId = StrongId<PageTag>;
+/// Identifies one barrier epoch; epoch k is the interval between global
+/// barrier k and barrier k+1. Epoch 0 precedes the first barrier.
+using EpochId = StrongId<EpochTag, std::uint64_t>;
+/// Globally unique diff identifier (creator node + sequence number packed
+/// by the owner module; opaque here).
+using DiffId = StrongId<DiffTag, std::uint64_t>;
+
+/// Byte offset into the shared global address space.
+using GlobalAddr = std::uint64_t;
+
+}  // namespace updsm
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<updsm::StrongId<Tag, Rep>> {
+  size_t operator()(updsm::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

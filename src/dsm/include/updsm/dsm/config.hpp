@@ -1,0 +1,69 @@
+// Cluster-level configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "updsm/dsm/race_detector.hpp"
+#include "updsm/sim/cost_model.hpp"
+
+namespace updsm::dsm {
+
+/// What bar-s / bar-m should do when an *unpredicted* write is trapped while
+/// overdrive is active (paper §4.1: "revert to bar-u, or, as in our
+/// prototype, complain loudly and exit").
+enum class OverdriveFallback {
+  Strict,  // throw ProtocolError (the paper's prototype behaviour)
+  Revert,  // handle the fault like bar-u and keep going
+};
+
+struct ClusterConfig {
+  /// Number of DSM nodes. The paper's testbed is an 8-node SP-2.
+  int num_nodes = 8;
+  /// Protection granularity; the paper used 8 KB on AIX (§3.2).
+  std::uint32_t page_size = 8192;
+  /// Calibrated platform model (§3.2 micro-benchmarks).
+  sim::CostModel costs = sim::CostModel::sp2_defaults();
+  /// Seed for all stochastic machinery (flush drops; app datasets draw from
+  /// their own seeds).
+  std::uint64_t seed = 0x1998'0330;
+
+  // --- home-based protocol options (bar-*) -------------------------------
+  /// Runtime home migration after the first iteration (§2.2.1, third
+  /// extension). Disabling reverts to static homes -- ablation X4.
+  bool home_migration = true;
+  /// Zhou-style user ANNOTATIONS (the alternative the paper's migration
+  /// replaces, §2.2.1): an explicit home node per page. Empty = the
+  /// default block distribution. Entries beyond the segment are ignored;
+  /// a short vector leaves the remaining pages block-distributed.
+  std::vector<std::uint32_t> static_homes;
+
+  // --- overdrive options (bar-s / bar-m) ---------------------------------
+  /// Complete iterations observed before overdrive engages ("after
+  /// gathering information for some period of time", §4.1). Homes migrate
+  /// during iteration 2 and copysets converge behind them, so the last
+  /// learning iteration -- the one overdrive replays -- must be the first
+  /// fully steady one: iteration 3. Overdrive engages during iteration 4.
+  int overdrive_learn_iterations = 3;
+  OverdriveFallback overdrive_fallback = OverdriveFallback::Strict;
+  /// Test-only: bar-m scans writable-but-unpredicted pages at each barrier
+  /// to *detect* silent divergence (the paper's bar-m is "not guaranteed to
+  /// maintain consistency"; the audit makes that observable in tests).
+  bool overdrive_audit = false;
+
+  // --- debugging tools ----------------------------------------------------
+  /// Byte-granularity data-race detection (paper §5.2's companion tool):
+  /// reports same-epoch conflicting accesses at each barrier. Off by
+  /// default (zero overhead).
+  RaceCheck race_check = RaceCheck::Off;
+  /// Protocol event tracing (see dsm/trace.hpp). Off by default.
+  bool trace = false;
+
+  // --- lmw options --------------------------------------------------------
+  /// Garbage-collection threshold for retained diff bytes in homeless
+  /// protocols (paper §2.2: diffs "can not be discarded until explicitly
+  /// garbage-collected"). 0 disables GC.
+  std::uint64_t lmw_gc_threshold_bytes = 64ULL << 20;
+};
+
+}  // namespace updsm::dsm

@@ -1,0 +1,57 @@
+// Per-page copysets (paper §2.1.2 / §2.2.1).
+//
+// A copyset is a bitmap naming the processors that cache (consume) a page.
+// Producers use it to push updates instead of waiting for invalidation
+// faults. Copysets are *hints*: stale entries cost wasted flushes, missing
+// entries cost one more fault -- never correctness.
+#pragma once
+
+#include <cstdint>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/types.hpp"
+
+namespace updsm::dsm {
+
+class Copyset {
+ public:
+  void add(NodeId n) { bits_ |= bit(n); }
+  void remove(NodeId n) { bits_ &= ~bit(n); }
+  [[nodiscard]] bool contains(NodeId n) const { return (bits_ & bit(n)) != 0; }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  void clear() { bits_ = 0; }
+
+  [[nodiscard]] int count() const { return __builtin_popcountll(bits_); }
+
+  /// Raw bitmap, as shipped in release messages (8 bytes on the wire).
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+  static Copyset from_bits(std::uint64_t bits) {
+    Copyset cs;
+    cs.bits_ = bits;
+    return cs;
+  }
+
+  /// Iterates members in node order: f(NodeId).
+  template <typename F>
+  void for_each(F&& f) const {
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      const int i = __builtin_ctzll(b);
+      f(NodeId{static_cast<std::uint32_t>(i)});
+      b &= b - 1;
+    }
+  }
+
+  friend bool operator==(Copyset a, Copyset b) { return a.bits_ == b.bits_; }
+
+ private:
+  static std::uint64_t bit(NodeId n) {
+    UPDSM_CHECK_MSG(n.value() < 64, "copyset supports <= 64 nodes, got "
+                                        << n);
+    return 1ULL << n.value();
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace updsm::dsm

@@ -1,0 +1,170 @@
+// NodeContext + SharedArray: the public API an application sees.
+//
+// A NodeContext is handed to the application function on each node; it
+// exposes shared-memory attachment, barrier/reduction synchronization,
+// compute-time charging and the SUIF-style iteration annotation. Shared
+// data is accessed through SharedArray<T>, whose every access goes through
+// the simulated MMU: insufficient page protection raises the protocol's
+// fault handler exactly like a hardware segv would under CVM.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/types.hpp"
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/sim/time.hpp"
+
+namespace updsm::dsm {
+
+template <typename T>
+class SharedArray;
+
+class NodeContext {
+ public:
+  NodeContext(Cluster& cluster, NodeId id) : cluster_(&cluster), id_(id) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] int node() const { return static_cast<int>(id_.value()); }
+  [[nodiscard]] int num_nodes() const {
+    return cluster_->runtime().num_nodes();
+  }
+  [[nodiscard]] std::uint32_t page_size() const {
+    return cluster_->runtime().page_size();
+  }
+
+  /// Global barrier. All nodes must call it the same number of times.
+  void barrier() { cluster_->node_barrier(id_); }
+
+  /// Global reductions (paper §2.2.1: "bar-i has been augmented to provide
+  /// explicit support for reductions"; lmw carries them the same way, over
+  /// its ordinary barrier messages). Each implies one barrier.
+  double reduce_max(double v) { return reduce(ReduceOp::Max, v); }
+  double reduce_min(double v) { return reduce(ReduceOp::Min, v); }
+  double reduce_sum(double v) { return reduce(ReduceOp::Sum, v); }
+
+  /// Charges `t` of useful application computation to this node.
+  void compute(sim::SimTime t) { cluster_->node_compute(id_, t); }
+
+  /// Convenience: charges `flops` floating-point operations through the
+  /// cost model's AppCosts.
+  void compute_flops(std::uint64_t flops) {
+    const double ns = cluster_->runtime().costs().app.flop_ns *
+                      static_cast<double>(flops);
+    compute(static_cast<sim::SimTime>(ns));
+  }
+
+  /// SUIF-style annotation marking the top of the time-step loop body.
+  void iteration_begin() { cluster_->node_iteration_begin(id_); }
+
+  /// Requests the steady-state measurement window to open at the next
+  /// barrier. Collective: every node must request before that barrier.
+  void begin_measurement() { cluster_->node_request_measurement(id_); }
+
+  /// Requests the window to close at the next barrier (collective), so
+  /// result validation and teardown are excluded from measured time.
+  void end_measurement() { cluster_->node_request_measurement_end(id_); }
+
+  /// Attaches a typed view of `count` elements at `addr`.
+  template <typename T>
+  [[nodiscard]] SharedArray<T> array(GlobalAddr addr, std::size_t count);
+
+  /// Raw MMU-checked access; SharedArray's engine. Returns a pointer into
+  /// this node's private frame memory, valid until the next barrier.
+  [[nodiscard]] std::byte* touch(GlobalAddr addr, std::size_t len,
+                                 AccessMode mode) {
+    return cluster_->node_touch(id_, addr, len, mode);
+  }
+
+ private:
+  double reduce(ReduceOp op, double v) {
+    cluster_->node_reduce_prepare(id_, op, v);
+    barrier();
+    return cluster_->node_reduce_result(id_);
+  }
+
+  Cluster* cluster_;
+  NodeId id_;
+};
+
+/// Typed accessor over a shared allocation. Copyable and cheap; acquire
+/// fresh views after every barrier (protections may have changed, and a
+/// stale raw span would bypass the simulated MMU).
+template <typename T>
+class SharedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared data must be trivially copyable");
+
+ public:
+  SharedArray(NodeContext& ctx, GlobalAddr base, std::size_t count)
+      : ctx_(&ctx), base_(base), count_(count) {
+    UPDSM_REQUIRE(base % alignof(T) == 0,
+                  "shared array base " << base << " misaligned for type of "
+                                       << alignof(T) << "-byte alignment");
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] GlobalAddr addr_of(std::size_t i) const {
+    UPDSM_REQUIRE(i < count_, "index " << i << " out of " << count_);
+    return base_ + i * sizeof(T);
+  }
+
+  /// Single-element read through the MMU.
+  [[nodiscard]] T get(std::size_t i) const {
+    const std::byte* p =
+        ctx_->touch(addr_of(i), sizeof(T), AccessMode::Read);
+    T v;
+    __builtin_memcpy(&v, p, sizeof(T));
+    return v;
+  }
+
+  /// Single-element write through the MMU.
+  void set(std::size_t i, T v) {
+    std::byte* p = ctx_->touch(addr_of(i), sizeof(T), AccessMode::Write);
+    __builtin_memcpy(p, &v, sizeof(T));
+  }
+
+  /// Validates [begin, end) for reading and returns a raw span over it.
+  /// The span bypasses per-element checks; it must not outlive the epoch.
+  [[nodiscard]] std::span<const T> read_view(std::size_t begin,
+                                             std::size_t end) const {
+    UPDSM_REQUIRE(begin <= end && end <= count_,
+                  "bad view [" << begin << ", " << end << ") of " << count_);
+    if (begin == end) return {};
+    const std::byte* p = ctx_->touch(base_ + begin * sizeof(T),
+                                     (end - begin) * sizeof(T),
+                                     AccessMode::Read);
+    return {reinterpret_cast<const T*>(p), end - begin};
+  }
+
+  /// Validates [begin, end) for writing and returns a mutable raw span.
+  /// Taking a write view *is* a write access: write trapping fires for
+  /// every page it covers, exactly as if the caller dirtied each page.
+  [[nodiscard]] std::span<T> write_view(std::size_t begin, std::size_t end) {
+    UPDSM_REQUIRE(begin <= end && end <= count_,
+                  "bad view [" << begin << ", " << end << ") of " << count_);
+    if (begin == end) return {};
+    std::byte* p = ctx_->touch(base_ + begin * sizeof(T),
+                               (end - begin) * sizeof(T), AccessMode::Write);
+    return {reinterpret_cast<T*>(p), end - begin};
+  }
+
+  [[nodiscard]] std::span<const T> read_all() const {
+    return read_view(0, count_);
+  }
+  [[nodiscard]] std::span<T> write_all() { return write_view(0, count_); }
+
+ private:
+  NodeContext* ctx_;
+  GlobalAddr base_;
+  std::size_t count_;
+};
+
+template <typename T>
+SharedArray<T> NodeContext::array(GlobalAddr addr, std::size_t count) {
+  return SharedArray<T>(*this, addr, count);
+}
+
+}  // namespace updsm::dsm

@@ -1,0 +1,68 @@
+// The coherence-protocol interface.
+//
+// A protocol implements the paper's per-event behaviour. All hooks run on
+// exactly one thread at a time (the gang guarantees it), so protocols are
+// written as straight-line single-threaded code:
+//
+//  * read_fault / write_fault run on the faulting node's thread, mid-epoch.
+//    They may consult and charge any node (a remote request interrupts the
+//    responder), but must mutate only state that is logically local to the
+//    faulting node plus append-only service statistics -- the state they
+//    read on other nodes was published at the previous barrier and is
+//    frozen (LRC legality; see sim/gang.hpp).
+//
+//  * The barrier hooks run on the controller thread while every node is
+//    parked, in three globally ordered phases:
+//      barrier_arrive(n)  -- capture node n's modifications (diff creation,
+//                            flush sends); must not touch other nodes'
+//                            frames;
+//      barrier_master()   -- apply queued diffs at homes, bump versions,
+//                            aggregate write notices, decide migrations;
+//      barrier_release(n) -- node-n-side release work: invalidations,
+//                            applying received updates, re-arming write
+//                            traps, overdrive pre-twinning.
+//    The phase split mirrors the real message flow and guarantees that diff
+//    creation always reads frames that contain exactly the creator's own
+//    epoch modifications.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "updsm/common/types.hpp"
+
+namespace updsm::dsm {
+
+class Runtime;
+
+enum class AccessMode { Read, Write };
+
+class CoherenceProtocol {
+ public:
+  virtual ~CoherenceProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once, after the Runtime is fully constructed and before any
+  /// application code runs. Protocols set initial page protections here.
+  virtual void init(Runtime& rt) = 0;
+
+  /// Node `n` accessed `page` with insufficient protection. The segv
+  /// dispatch cost has already been charged by the MMU layer; the handler
+  /// must leave the page readable (read_fault) or writable (write_fault).
+  virtual void read_fault(NodeId n, PageId page) = 0;
+  virtual void write_fault(NodeId n, PageId page) = 0;
+
+  virtual void barrier_arrive(NodeId n) = 0;
+  virtual void barrier_master() = 0;
+  virtual void barrier_release(NodeId n) = 0;
+
+  /// SUIF-style annotation: node `n` is starting the body of a new
+  /// time-step iteration. Drives home migration and overdrive learning.
+  virtual void iteration_begin(NodeId n, std::uint64_t iteration) {
+    (void)n;
+    (void)iteration;
+  }
+};
+
+}  // namespace updsm::dsm

@@ -1,0 +1,75 @@
+// Byte-granularity data-race detection for barrier programs.
+//
+// The paper (§5.2) compares the problem of knowing whether a program is
+// safe for bar-m to run-time data-race detection [13, 14]. This detector
+// provides the complementary tool: with RaceCheck enabled, the cluster
+// records every MMU-checked access range and reports, at each barrier, any
+// byte range touched by two different nodes in the same epoch with at
+// least one writer.
+//
+// Two conflict classes are distinguished:
+//   * write/write -- always an error for the programs this system targets
+//     (concurrent diffs would overlap; merge order would matter);
+//   * write/read  -- an intra-epoch anti-dependence. Plain LRC tolerates
+//     these for *replicated* pages (§2.1), but their value is execution-
+//     dependent under home-based serving and single-writer mode (see
+//     DESIGN.md §8), so portable programs should avoid them too.
+//
+// Granularity note: ranges come from SharedArray accessors, so a
+// write_view over bytes the application never stores to is still recorded
+// as written -- the detector is conservative, exactly like the page-based
+// tools of the era, but at view rather than page granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "updsm/common/types.hpp"
+
+namespace updsm::dsm {
+
+enum class RaceCheck {
+  Off,   // no recording (default; zero overhead)
+  Warn,  // record, report via log, keep running
+  Throw, // record, throw ProtocolError at the barrier that detects it
+};
+
+struct RaceReport {
+  GlobalAddr lo = 0;   // conflicting byte range [lo, hi)
+  GlobalAddr hi = 0;
+  NodeId writer{0};    // the (first) writing node
+  NodeId other{0};     // the conflicting node
+  bool write_write = false;
+  EpochId epoch{0};
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(int num_nodes);
+
+  /// Records one MMU-checked access by `node`.
+  void record(NodeId node, GlobalAddr addr, std::uint64_t len, bool write);
+
+  /// Analyses the epoch's accesses, clears the recording buffers, and
+  /// returns every conflict found (bounded to 64 reports per epoch).
+  [[nodiscard]] std::vector<RaceReport> finish_epoch(EpochId epoch);
+
+ private:
+  struct Interval {
+    GlobalAddr lo;
+    GlobalAddr hi;
+    NodeId node;
+  };
+
+  /// Sorts by lo and coalesces adjacent/overlapping intervals of the same
+  /// node (views are recorded per row: thousands of abutting ranges).
+  static void normalize(std::vector<Interval>& intervals);
+
+  std::vector<std::vector<Interval>> writes_;  // per node
+  std::vector<std::vector<Interval>> reads_;   // per node
+};
+
+}  // namespace updsm::dsm

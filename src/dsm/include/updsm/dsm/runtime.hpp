@@ -1,0 +1,195 @@
+// Runtime: the per-run service hub shared by the cluster, the protocol and
+// the application-facing NodeContext.
+//
+// It owns the per-node software MMUs (page tables), virtual clocks and OS
+// models, the simulated network, and the protocol counters; and it provides
+// the *charging helpers* through which every protocol action pays its
+// simulated cost. Protocol code never touches a clock directly -- each
+// helper documents who is charged, with which TimeCat, so that Figure 3's
+// breakdown is an audit trail rather than an estimate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/types.hpp"
+#include "updsm/dsm/config.hpp"
+#include "updsm/dsm/stats.hpp"
+#include "updsm/dsm/trace.hpp"
+#include "updsm/mem/page_table.hpp"
+#include "updsm/sim/clock.hpp"
+#include "updsm/sim/cost_model.hpp"
+#include "updsm/sim/network.hpp"
+#include "updsm/sim/os_model.hpp"
+
+namespace updsm::dsm {
+
+/// Cluster-wide per-page event counters (cheap enough to keep always on):
+/// the raw material for hot-page analysis (`updsm_run --hot-pages`).
+struct PageStats {
+  std::uint32_t read_faults = 0;
+  std::uint32_t write_faults = 0;
+  std::uint32_t mprotects = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return static_cast<std::uint64_t>(read_faults) + write_faults +
+           mprotects;
+  }
+};
+
+class Runtime {
+ public:
+  Runtime(const ClusterConfig& config, std::uint32_t num_pages);
+
+  // --- topology -----------------------------------------------------------
+  [[nodiscard]] int num_nodes() const { return config_.num_nodes; }
+  [[nodiscard]] NodeId master() const { return NodeId{0}; }
+  [[nodiscard]] std::uint32_t num_pages() const { return num_pages_; }
+  [[nodiscard]] std::uint32_t page_size() const { return config_.page_size; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const sim::CostModel& costs() const { return config_.costs; }
+
+  // --- per-node state -----------------------------------------------------
+  [[nodiscard]] mem::PageTable& table(NodeId n) { return *tables_[check(n)]; }
+  [[nodiscard]] const mem::PageTable& table(NodeId n) const {
+    return *tables_[check(n)];
+  }
+  [[nodiscard]] sim::VirtualClock& clock(NodeId n) { return clocks_[check(n)]; }
+  [[nodiscard]] const sim::VirtualClock& clock(NodeId n) const {
+    return clocks_[check(n)];
+  }
+  [[nodiscard]] sim::OsModel& os(NodeId n) { return os_[check(n)]; }
+
+  [[nodiscard]] sim::Network& net() { return net_; }
+  [[nodiscard]] const sim::Network& net() const { return net_; }
+  [[nodiscard]] ProtocolCounters& counters() { return counters_; }
+  [[nodiscard]] const ProtocolCounters& counters() const { return counters_; }
+  /// Null unless config.trace is set.
+  [[nodiscard]] TraceLog* trace() { return trace_.get(); }
+
+  [[nodiscard]] PageStats& page_stats(PageId page) {
+    return page_stats_[page.index()];
+  }
+  [[nodiscard]] const std::vector<PageStats>& page_stats() const {
+    return page_stats_;
+  }
+
+  /// Current barrier epoch: epoch k is the interval following global
+  /// barrier k; epoch 0 precedes the first barrier.
+  [[nodiscard]] EpochId epoch() const { return epoch_; }
+  void advance_epoch() { epoch_ = EpochId{epoch_.value() + 1}; }
+
+  // --- cost-charging helpers ----------------------------------------------
+  /// Changes `page`'s protection on node `n`, charging one mprotect system
+  /// call (TimeCat::Os) in the given interrupt context (`sigio` true when
+  /// the change happens inside a request/flush handler).
+  void mprotect(NodeId n, PageId page, mem::Protect prot, bool sigio = false);
+
+  /// Charges the segv dispatch for a trapped access on node `n`.
+  void charge_segv(NodeId n);
+
+  /// Charges user-level protocol work (TimeCat::Dsm) of `fixed` plus
+  /// `per_byte_ns * bytes` to node `n`.
+  void charge_dsm(NodeId n, sim::SimTime fixed, double per_byte_ns = 0.0,
+                  std::uint64_t bytes = 0, bool sigio = false);
+
+  /// Records and charges a synchronous request/reply exchange: requester
+  /// pays traps (Os) and latency (Wait); responder pays handler time
+  /// (Sigio). `responder_work` is extra service time at the responder
+  /// beyond the fixed handler cost (e.g. assembling a page).
+  void roundtrip(NodeId requester, NodeId responder, sim::MsgKind req_kind,
+                 std::uint64_t req_bytes, std::uint64_t reply_bytes,
+                 sim::SimTime responder_work);
+
+  /// Records and charges one flush message (sender Os traps; receiver Sigio
+  /// recv). Update pushes are unreliable (paper §2.1.2: "flush messages can
+  /// be unreliable, and therefore do not need to be acknowledged"); returns
+  /// false if the network dropped one, in which case the receiver is
+  /// charged nothing and must not see the data. Diff flushes to home nodes
+  /// pass `reliable = true`: they are correctness-critical and ride the
+  /// barrier's reliable channel.
+  [[nodiscard]] bool flush(NodeId from, NodeId to, std::uint64_t bytes,
+                           bool reliable = false);
+
+  /// Reliable control message (home-migration directives etc.).
+  void control(NodeId from, NodeId to, std::uint64_t bytes);
+
+  // --- barrier payload accumulators (used by Cluster) ----------------------
+  /// Protocols add piggybacked metadata bytes to the arrival / release sync
+  /// messages of node `n` (write notices, version lists, copyset tables).
+  void add_arrival_payload(NodeId n, std::uint64_t bytes) {
+    arrival_payload_[check(n)] += bytes;
+  }
+  void add_release_payload(NodeId n, std::uint64_t bytes) {
+    release_payload_[check(n)] += bytes;
+  }
+  [[nodiscard]] std::uint64_t take_arrival_payload(NodeId n) {
+    return std::exchange(arrival_payload_[check(n)], 0);
+  }
+  [[nodiscard]] std::uint64_t take_release_payload(NodeId n) {
+    return std::exchange(release_payload_[check(n)], 0);
+  }
+
+  /// Resets statistics at the start of the steady-state measurement window
+  /// (paper §3.1). Clock *breakdowns* reset; absolute times continue.
+  void begin_measurement();
+  /// Freezes the window: per-node end marks and breakdown snapshots are
+  /// taken so later work (checksums, teardown) is not measured.
+  void end_measurement();
+  [[nodiscard]] bool measuring() const { return measuring_; }
+  [[nodiscard]] bool measurement_ended() const { return ended_; }
+  /// Per-node virtual time at the start of the measurement window.
+  [[nodiscard]] sim::SimTime measure_mark(NodeId n) const {
+    return measure_mark_[check(n)];
+  }
+  /// Per-node virtual time at the end of the window (now() if still open).
+  [[nodiscard]] sim::SimTime measure_end(NodeId n) const {
+    return ended_ ? measure_end_[check(n)] : clock(n).now();
+  }
+  /// Breakdown over the window (frozen at end_measurement if it was called).
+  [[nodiscard]] std::array<sim::SimTime, sim::kTimeCatCount>
+  window_breakdown(NodeId n) const {
+    return ended_ ? frozen_breakdown_[check(n)] : clock(n).breakdown();
+  }
+  /// Protocol counters over the window: frozen at end_measurement so the
+  /// checksum/teardown phase does not pollute Table-1 statistics.
+  [[nodiscard]] const ProtocolCounters& measured_counters() const {
+    return ended_ ? frozen_counters_ : counters_;
+  }
+  /// Network statistics over the window (same freezing rule).
+  [[nodiscard]] const sim::NetworkStats& measured_net_stats() const {
+    return ended_ ? frozen_net_ : net_.stats();
+  }
+
+ private:
+  [[nodiscard]] std::size_t check(NodeId n) const {
+    UPDSM_CHECK_MSG(n.value() < static_cast<std::uint32_t>(num_nodes()),
+                    "node " << n << " out of range");
+    return n.index();
+  }
+
+  ClusterConfig config_;
+  std::uint32_t num_pages_;
+  std::vector<std::unique_ptr<mem::PageTable>> tables_;
+  std::vector<sim::VirtualClock> clocks_;
+  std::vector<sim::OsModel> os_;
+  sim::Network net_;
+  ProtocolCounters counters_;
+  std::unique_ptr<TraceLog> trace_;
+  std::vector<PageStats> page_stats_;
+  EpochId epoch_{0};
+  std::vector<std::uint64_t> arrival_payload_;
+  std::vector<std::uint64_t> release_payload_;
+  bool measuring_ = false;
+  bool ended_ = false;
+  std::vector<sim::SimTime> measure_mark_;
+  std::vector<sim::SimTime> measure_end_;
+  std::vector<std::array<sim::SimTime, sim::kTimeCatCount>> frozen_breakdown_;
+  ProtocolCounters frozen_counters_;
+  sim::NetworkStats frozen_net_;
+};
+
+}  // namespace updsm::dsm

@@ -1,0 +1,50 @@
+// Protocol event tracing.
+//
+// When ClusterConfig::trace is set, every externally visible protocol
+// action -- faults, protection changes, request/reply exchanges, flushes,
+// barriers -- is appended to a TraceLog as one compact text line. Because
+// runs are bit-deterministic, a trace is a complete behavioural fingerprint
+// of a protocol on a scenario: the golden tests in tests/trace_test.cpp pin
+// entire event sequences, so any unintended protocol change shows up as a
+// readable diff.
+//
+// Line grammar (space-separated, stable):
+//   barrier <k>                 global barrier k completed
+//   fault r|w n<node> p<page>   read/write segv on a page
+//   mprot n<node> p<page> none|r|rw
+//   req n<from>>n<to> <req>B <reply>B     request/reply pair
+//   flush n<from>>n<to> <bytes>B [drop]   one-way flush (drop = lost)
+//   ctl n<from>>n<to> <bytes>B            control message
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace updsm::dsm {
+
+class TraceLog {
+ public:
+  void emit(std::string line) { lines_.push_back(std::move(line)); }
+
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+  [[nodiscard]] std::size_t size() const { return lines_.size(); }
+  void clear() { lines_.clear(); }
+
+  /// Joins all lines with '\n' (golden-test comparison form).
+  [[nodiscard]] std::string str() const {
+    std::string out;
+    for (const auto& line : lines_) {
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace updsm::dsm

@@ -1,0 +1,67 @@
+// Twin management (paper §2.1.1).
+//
+// A twin is the pristine copy of a page snapshotted at the first write
+// access of an epoch; diffing current contents against the twin yields the
+// epoch's modifications. One TwinStore per node.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/types.hpp"
+
+namespace updsm::dsm {
+
+class TwinStore {
+ public:
+  /// Snapshots `page_data` as the twin of `page`. A twin must not already
+  /// exist (protocols create exactly one twin per page per epoch).
+  void create(PageId page, std::span<const std::byte> page_data) {
+    auto [it, inserted] = twins_.try_emplace(page);
+    UPDSM_CHECK_MSG(inserted, "twin for page " << page << " already exists");
+    it->second.assign(page_data.begin(), page_data.end());
+  }
+
+  /// Re-snapshots an existing twin in place (bar-s/bar-m refresh the twin
+  /// each epoch instead of discarding it).
+  void refresh(PageId page, std::span<const std::byte> page_data) {
+    const auto it = twins_.find(page);
+    UPDSM_CHECK_MSG(it != twins_.end(), "no twin for page " << page);
+    UPDSM_CHECK(it->second.size() == page_data.size());
+    std::memcpy(it->second.data(), page_data.data(), page_data.size());
+  }
+
+  [[nodiscard]] bool has(PageId page) const { return twins_.count(page) != 0; }
+
+  [[nodiscard]] std::span<const std::byte> get(PageId page) const {
+    const auto it = twins_.find(page);
+    UPDSM_CHECK_MSG(it != twins_.end(), "no twin for page " << page);
+    return it->second;
+  }
+
+  void discard(PageId page) { twins_.erase(page); }
+  void clear() { twins_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return twins_.size(); }
+
+  /// Pages with live twins, in ascending page order (deterministic
+  /// iteration for diff creation).
+  [[nodiscard]] std::vector<PageId> pages_sorted() const;
+
+ private:
+  std::unordered_map<PageId, std::vector<std::byte>> twins_;
+};
+
+inline std::vector<PageId> TwinStore::pages_sorted() const {
+  std::vector<PageId> pages;
+  pages.reserve(twins_.size());
+  for (const auto& [page, twin] : twins_) pages.push_back(page);
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+}  // namespace updsm::dsm

@@ -1,0 +1,39 @@
+// Write notices for homeless (lmw) protocols (paper §2.1.1).
+//
+// A write notice tells a node that `page` was modified during `epoch` by
+// `creator`, and names the diff to fetch before the next access. Notices
+// ride barrier messages; each consumes kWireBytes of sync payload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "updsm/common/types.hpp"
+
+namespace updsm::dsm {
+
+struct WriteNotice {
+  PageId page{0};
+  NodeId creator{0};
+  EpochId epoch{0};
+
+  /// Wire footprint: page id (4) + creator (2) + epoch (8), padded.
+  static constexpr std::uint64_t kWireBytes = 16;
+
+  friend bool operator==(const WriteNotice&, const WriteNotice&) = default;
+};
+
+/// Orders notices the way diffs must be applied: by epoch, then by creator
+/// (creators within one epoch wrote disjoint ranges, so creator order is a
+/// deterministic tie-break, not a semantic requirement).
+struct WriteNoticeOrder {
+  bool operator()(const WriteNotice& a, const WriteNotice& b) const {
+    if (a.epoch != b.epoch) return a.epoch < b.epoch;
+    if (a.creator != b.creator) return a.creator < b.creator;
+    return a.page < b.page;
+  }
+};
+
+using NoticeList = std::vector<WriteNotice>;
+
+}  // namespace updsm::dsm

@@ -1,0 +1,310 @@
+#include "updsm/dsm/cluster.hpp"
+
+#include <algorithm>
+
+#include "updsm/common/log.hpp"
+#include "updsm/dsm/node_context.hpp"
+
+namespace updsm::dsm {
+
+namespace {
+using sim::MsgKind;
+using sim::SimTime;
+using sim::TimeCat;
+
+/// Wire footprint of one reduction contribution / result (op + double).
+constexpr std::uint64_t kReduceWireBytes = 16;
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config, const mem::SharedHeap& heap,
+                 std::unique_ptr<CoherenceProtocol> protocol)
+    : rt_(config, heap.segment_pages()),
+      protocol_(std::move(protocol)),
+      gang_(config.num_nodes) {
+  UPDSM_REQUIRE(protocol_ != nullptr, "cluster needs a protocol");
+  UPDSM_REQUIRE(heap.page_size() == config.page_size,
+                "heap page size " << heap.page_size()
+                                  << " != cluster page size "
+                                  << config.page_size);
+  if (config.race_check != RaceCheck::Off) {
+    race_detector_ = std::make_unique<RaceDetector>(config.num_nodes);
+  }
+  const auto n = static_cast<std::size_t>(config.num_nodes);
+  pending_reduce_.assign(n, PendingReduce{});
+  measurement_requested_.assign(n, false);
+  measurement_end_requested_.assign(n, false);
+  iteration_count_.assign(n, 0);
+  protocol_->init(rt_);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const AppFn& app) {
+  UPDSM_REQUIRE(!ran_, "Cluster::run may be called only once");
+  ran_ = true;
+  gang_.run(
+      [&](int node) {
+        NodeContext ctx(*this, NodeId{static_cast<std::uint32_t>(node)});
+        app(ctx);
+      },
+      [&](std::uint64_t index) { do_barrier(index); });
+}
+
+sim::SimTime Cluster::elapsed() const {
+  SimTime worst = 0;
+  for (int i = 0; i < rt_.num_nodes(); ++i) {
+    const NodeId n{static_cast<std::uint32_t>(i)};
+    worst = std::max(worst, rt_.measure_end(n) - rt_.measure_mark(n));
+  }
+  return worst;
+}
+
+BreakdownReport Cluster::breakdown() const {
+  BreakdownReport report;
+  report.nodes.resize(static_cast<std::size_t>(rt_.num_nodes()));
+  for (int i = 0; i < rt_.num_nodes(); ++i) {
+    const NodeId n{static_cast<std::uint32_t>(i)};
+    const auto window = rt_.window_breakdown(n);
+    auto& out = report.nodes[static_cast<std::size_t>(i)];
+    out.app = window[static_cast<std::size_t>(TimeCat::App)];
+    out.dsm = window[static_cast<std::size_t>(TimeCat::Dsm)];
+    out.os = window[static_cast<std::size_t>(TimeCat::Os)];
+    out.wait = window[static_cast<std::size_t>(TimeCat::Wait)];
+    out.sigio = window[static_cast<std::size_t>(TimeCat::Sigio)];
+  }
+  return report;
+}
+
+void Cluster::node_barrier(NodeId n) { gang_.barrier_wait(static_cast<int>(n.value())); }
+
+void Cluster::node_reduce_prepare(NodeId n, ReduceOp op, double value) {
+  auto& slot = pending_reduce_[n.index()];
+  UPDSM_REQUIRE(!slot.armed,
+                "node " << n << " issued two reductions without a barrier");
+  slot = PendingReduce{true, op, value};
+}
+
+double Cluster::node_reduce_result(NodeId n) const {
+  (void)n;
+  UPDSM_CHECK_MSG(reduce_result_valid_, "reduction result read but no "
+                                        "reduction completed at last barrier");
+  return reduce_result_;
+}
+
+void Cluster::node_iteration_begin(NodeId n) {
+  auto& count = iteration_count_[n.index()];
+  ++count;
+  protocol_->iteration_begin(n, count);
+}
+
+void Cluster::node_request_measurement(NodeId n) {
+  measurement_requested_[n.index()] = true;
+}
+
+void Cluster::node_request_measurement_end(NodeId n) {
+  measurement_end_requested_[n.index()] = true;
+}
+
+void Cluster::node_compute(NodeId n, SimTime t) {
+  rt_.clock(n).advance(TimeCat::App, t);
+}
+
+std::byte* Cluster::node_touch(NodeId n, GlobalAddr addr, std::size_t len,
+                               AccessMode mode) {
+  auto& pt = rt_.table(n);
+  UPDSM_REQUIRE(len > 0 && addr + len <= pt.segment_bytes(),
+                "shared access [" << addr << ", +" << len
+                                  << ") outside segment of "
+                                  << pt.segment_bytes() << " bytes");
+  if (race_detector_) {
+    race_detector_->record(n, addr, len, mode == AccessMode::Write);
+  }
+  const std::uint32_t psize = pt.page_size();
+  const std::uint32_t first = static_cast<std::uint32_t>(addr / psize);
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((addr + len - 1) / psize);
+  for (std::uint32_t p = first; p <= last; ++p) {
+    const PageId page{p};
+    const mem::Protect prot = pt.prot(page);
+    if (mode == AccessMode::Read) {
+      if (!mem::can_read(prot)) {
+        ++rt_.counters().read_faults;
+        ++rt_.page_stats(page).read_faults;
+        if (auto* trace = rt_.trace()) {
+          trace->emit("fault r n" + std::to_string(n.value()) + " p" +
+                      std::to_string(p));
+        }
+        rt_.charge_segv(n);
+        protocol_->read_fault(n, page);
+        UPDSM_CHECK_MSG(mem::can_read(pt.prot(page)),
+                        protocol_->name() << " left page " << page
+                                          << " unreadable after read fault");
+      }
+    } else {
+      if (!mem::can_write(prot)) {
+        ++rt_.counters().write_faults;
+        ++rt_.page_stats(page).write_faults;
+        if (auto* trace = rt_.trace()) {
+          trace->emit("fault w n" + std::to_string(n.value()) + " p" +
+                      std::to_string(p));
+        }
+        rt_.charge_segv(n);
+        protocol_->write_fault(n, page);
+        UPDSM_CHECK_MSG(mem::can_write(pt.prot(page)),
+                        protocol_->name() << " left page " << page
+                                          << " unwritable after write fault");
+      }
+    }
+  }
+  return pt.segment().data() + addr;
+}
+
+void Cluster::do_barrier(std::uint64_t index) {
+  (void)index;
+  if (race_detector_) {
+    auto reports = race_detector_->finish_epoch(rt_.epoch());
+    for (const RaceReport& report : reports) {
+      UPDSM_LOG(Warn, "race detector: " << report.describe());
+      if (rt_.config().race_check == RaceCheck::Throw) {
+        throw ProtocolError("race detector: " + report.describe());
+      }
+      race_reports_.push_back(report);
+    }
+  }
+  const int n = rt_.num_nodes();
+  const NodeId master = rt_.master();
+  const auto& net_costs = rt_.costs().net;
+
+  // Phase A: every node captures its own epoch modifications. Strict node
+  // order; each hook reads only its own frames and publishes diffs/flushes.
+  for (int i = 0; i < n; ++i) {
+    protocol_->barrier_arrive(NodeId{static_cast<std::uint32_t>(i)});
+  }
+
+  // Reduction sanity: either nobody reduced at this barrier or everybody
+  // did, with the same operator (the compiler emits matching calls).
+  int reducers = 0;
+  for (const auto& slot : pending_reduce_) reducers += slot.armed ? 1 : 0;
+  UPDSM_REQUIRE(reducers == 0 || reducers == n,
+                "reduction joined by " << reducers << " of " << n
+                                       << " nodes at one barrier");
+  const bool reducing = reducers == n;
+
+  // Arrival messages: slaves -> master, carrying protocol metadata and any
+  // reduction contribution.
+  SimTime latest_arrival = rt_.clock(master).now();
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    std::uint64_t payload = rt_.take_arrival_payload(node);
+    if (node == master) continue;  // master's metadata stays local
+    if (reducing) payload += kReduceWireBytes;
+    const SimTime wire =
+        rt_.net().record(MsgKind::SyncArrive, node, master, payload);
+    rt_.clock(node).advance(TimeCat::Os, net_costs.send_trap);
+    rt_.os(node).count_send();
+    latest_arrival =
+        std::max(latest_arrival, rt_.clock(node).now() + wire);
+  }
+
+  // Master waits for the last arrival, absorbs the recv traps, then runs
+  // per-node bookkeeping and the protocol's global phase.
+  rt_.clock(master).advance_to(TimeCat::Wait, latest_arrival);
+  for (int i = 1; i < n; ++i) {
+    rt_.clock(master).advance(TimeCat::Os, net_costs.recv_trap);
+    rt_.os(master).count_recv();
+  }
+  rt_.charge_dsm(master, rt_.costs().dsm.barrier_master_per_node *
+                             static_cast<SimTime>(n));
+
+  if (reducing) {
+    // Combine in node order: deterministic and identical to the sequential
+    // baseline's (single-contribution) result semantics.
+    double acc = pending_reduce_[0].value;
+    const ReduceOp op = pending_reduce_[0].op;
+    for (int i = 1; i < n; ++i) {
+      const auto& slot = pending_reduce_[static_cast<std::size_t>(i)];
+      UPDSM_REQUIRE(slot.op == op,
+                    "mismatched reduction operators at one barrier");
+      switch (op) {
+        case ReduceOp::Max:
+          acc = std::max(acc, slot.value);
+          break;
+        case ReduceOp::Min:
+          acc = std::min(acc, slot.value);
+          break;
+        case ReduceOp::Sum:
+          acc += slot.value;
+          break;
+      }
+    }
+    reduce_result_ = acc;
+    reduce_result_valid_ = true;
+    for (auto& slot : pending_reduce_) slot.armed = false;
+  } else {
+    reduce_result_valid_ = false;
+  }
+
+  protocol_->barrier_master();
+
+  // Phase C: releases. The master first sends every release message (its
+  // own local release work must not delay the slaves), then each node
+  // performs its release-side protocol work (invalidations, update
+  // application, trap re-arming) concurrently on its own clock.
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    if (node == master) {
+      (void)rt_.take_release_payload(node);
+      continue;
+    }
+    std::uint64_t payload = rt_.take_release_payload(node);
+    if (reducing) payload += kReduceWireBytes;
+    const SimTime wire =
+        rt_.net().record(MsgKind::SyncRelease, master, node, payload);
+    rt_.clock(master).advance(TimeCat::Os, net_costs.send_trap);
+    rt_.os(master).count_send();
+    rt_.clock(node).advance_to(TimeCat::Wait, rt_.clock(master).now() + wire);
+    rt_.clock(node).advance(TimeCat::Os, net_costs.recv_trap);
+    rt_.os(node).count_recv();
+  }
+  for (int i = 0; i < n; ++i) {
+    protocol_->barrier_release(NodeId{static_cast<std::uint32_t>(i)});
+  }
+
+  if (auto* trace = rt_.trace()) {
+    trace->emit("barrier " + std::to_string(index));
+  }
+  rt_.advance_epoch();
+
+  // Measurement window: engaged at the barrier where every node asked for
+  // it, *after* the barrier itself, so warm-up barrier costs are excluded.
+  const bool any = std::any_of(measurement_requested_.begin(),
+                               measurement_requested_.end(),
+                               [](bool b) { return b; });
+  if (any) {
+    const bool all = std::all_of(measurement_requested_.begin(),
+                                 measurement_requested_.end(),
+                                 [](bool b) { return b; });
+    UPDSM_REQUIRE(all, "begin_measurement must be collective: some nodes "
+                       "did not request it before this barrier");
+    UPDSM_REQUIRE(!rt_.measuring(), "begin_measurement requested twice");
+    rt_.begin_measurement();
+    std::fill(measurement_requested_.begin(), measurement_requested_.end(),
+              false);
+  }
+
+  const bool any_end = std::any_of(measurement_end_requested_.begin(),
+                                   measurement_end_requested_.end(),
+                                   [](bool b) { return b; });
+  if (any_end) {
+    const bool all = std::all_of(measurement_end_requested_.begin(),
+                                 measurement_end_requested_.end(),
+                                 [](bool b) { return b; });
+    UPDSM_REQUIRE(all, "end_measurement must be collective: some nodes did "
+                       "not request it before this barrier");
+    rt_.end_measurement();
+    std::fill(measurement_end_requested_.begin(),
+              measurement_end_requested_.end(), false);
+  }
+}
+
+}  // namespace updsm::dsm

@@ -1,0 +1,55 @@
+#include "updsm/dsm/diff_store.hpp"
+
+namespace updsm::dsm {
+
+void DiffStore::put(const Key& key, mem::Diff diff) {
+  // Replacement only happens in lmw-u update storage, where a later flush
+  // for the same (page, epoch, creator) supersedes a stored one; drop the
+  // stale accounting before the old object is destroyed.
+  const auto it = diffs_.find(key);
+  if (it != diffs_.end()) retained_bytes_ -= it->second.memory_bytes();
+  retained_bytes_ += diff.memory_bytes();
+  diffs_.insert_or_assign(key, std::move(diff));
+}
+
+const mem::Diff* DiffStore::find(const Key& key) const {
+  const auto it = diffs_.find(key);
+  return it == diffs_.end() ? nullptr : &it->second;
+}
+
+const mem::Diff* DiffStore::find_or_successor(const Key& key) const {
+  auto it = diffs_.lower_bound(key);
+  while (it != diffs_.end() && it->first.page == key.page) {
+    if (it->first.creator == key.creator) return &it->second;
+    ++it;
+  }
+  return nullptr;
+}
+
+void DiffStore::squash_put(const Key& key, mem::Diff diff) {
+  auto it = diffs_.lower_bound(Key{key.page, EpochId{0}, NodeId{0}});
+  while (it != diffs_.end() && it->first.page == key.page &&
+         it->first.epoch < key.epoch) {
+    if (it->first.creator == key.creator && diff.covers(it->second)) {
+      retained_bytes_ -= it->second.memory_bytes();
+      it = diffs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  put(key, std::move(diff));
+}
+
+void DiffStore::erase(const Key& key) {
+  const auto it = diffs_.find(key);
+  if (it == diffs_.end()) return;
+  retained_bytes_ -= it->second.memory_bytes();
+  diffs_.erase(it);
+}
+
+void DiffStore::clear() {
+  diffs_.clear();
+  retained_bytes_ = 0;
+}
+
+}  // namespace updsm::dsm

@@ -1,0 +1,115 @@
+#include "updsm/dsm/race_detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::dsm {
+
+namespace {
+constexpr std::size_t kMaxReportsPerEpoch = 64;
+}
+
+std::string RaceReport::describe() const {
+  std::ostringstream os;
+  os << (write_write ? "write/write race" : "write/read anti-dependence")
+     << " on bytes [" << lo << ", " << hi << ") between node "
+     << writer.value() << " (writer) and node " << other.value()
+     << " during epoch " << epoch.value();
+  return os.str();
+}
+
+RaceDetector::RaceDetector(int num_nodes) {
+  UPDSM_REQUIRE(num_nodes >= 1, "detector needs at least one node");
+  writes_.resize(static_cast<std::size_t>(num_nodes));
+  reads_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void RaceDetector::record(NodeId node, GlobalAddr addr, std::uint64_t len,
+                          bool write) {
+  if (len == 0) return;
+  auto& list = write ? writes_[node.index()] : reads_[node.index()];
+  // Fast path: extend the previous interval when accesses walk forward
+  // (row-by-row views do).
+  if (!list.empty() && list.back().hi >= addr && list.back().lo <= addr) {
+    list.back().hi = std::max(list.back().hi, addr + len);
+    return;
+  }
+  list.push_back(Interval{addr, addr + len, node});
+}
+
+void RaceDetector::normalize(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  merged.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals = std::move(merged);
+}
+
+std::vector<RaceReport> RaceDetector::finish_epoch(EpochId epoch) {
+  const auto n = writes_.size();
+  for (auto& list : writes_) normalize(list);
+  for (auto& list : reads_) normalize(list);
+
+  // Merge all nodes' write intervals into one sweep list.
+  std::vector<Interval> all_writes;
+  for (const auto& list : writes_) {
+    all_writes.insert(all_writes.end(), list.begin(), list.end());
+  }
+  std::sort(all_writes.begin(), all_writes.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+
+  std::vector<RaceReport> reports;
+  auto emit = [&](const Interval& w, const Interval& o, bool ww) {
+    if (reports.size() >= kMaxReportsPerEpoch) return;
+    RaceReport r;
+    r.lo = std::max(w.lo, o.lo);
+    r.hi = std::min(w.hi, o.hi);
+    r.writer = w.node;
+    r.other = o.node;
+    r.write_write = ww;
+    r.epoch = epoch;
+    reports.push_back(r);
+  };
+
+  // write/write: adjacent-in-sweep overlap between different nodes.
+  for (std::size_t i = 0; i + 1 < all_writes.size(); ++i) {
+    for (std::size_t j = i + 1; j < all_writes.size(); ++j) {
+      if (all_writes[j].lo >= all_writes[i].hi) break;
+      if (all_writes[j].node != all_writes[i].node) {
+        emit(all_writes[i], all_writes[j], /*ww=*/true);
+      }
+    }
+  }
+
+  // write/read: sweep each node's reads against the other nodes' writes.
+  for (std::size_t reader = 0; reader < n; ++reader) {
+    const auto& reads = reads_[reader];
+    if (reads.empty()) continue;
+    std::size_t w = 0;
+    for (const Interval& r : reads) {
+      while (w < all_writes.size() && all_writes[w].hi <= r.lo) ++w;
+      for (std::size_t k = w;
+           k < all_writes.size() && all_writes[k].lo < r.hi; ++k) {
+        if (all_writes[k].node.index() != reader) {
+          emit(all_writes[k], r, /*ww=*/false);
+        }
+      }
+    }
+  }
+
+  for (auto& list : writes_) list.clear();
+  for (auto& list : reads_) list.clear();
+  return reports;
+}
+
+}  // namespace updsm::dsm

@@ -1,0 +1,156 @@
+#include "updsm/dsm/runtime.hpp"
+
+#include "updsm/common/log.hpp"
+#include "updsm/common/rng.hpp"
+
+namespace updsm::dsm {
+
+namespace {
+using sim::MsgKind;
+using sim::SimTime;
+using sim::TimeCat;
+}  // namespace
+
+Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
+    : config_(config),
+      num_pages_(num_pages),
+      net_(config.costs.net, splitmix64(config.seed ^ 0xfeedULL)) {
+  UPDSM_REQUIRE(config.num_nodes >= 1 && config.num_nodes <= 64,
+                "num_nodes must be in [1, 64], got " << config.num_nodes);
+  const int n = config.num_nodes;
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tables_.push_back(
+        std::make_unique<mem::PageTable>(num_pages, config.page_size));
+  }
+  clocks_.assign(static_cast<std::size_t>(n), sim::VirtualClock{});
+  os_.assign(static_cast<std::size_t>(n),
+             sim::OsModel(config.costs.os, num_pages));
+  if (config.trace) trace_ = std::make_unique<TraceLog>();
+  page_stats_.assign(num_pages, PageStats{});
+  arrival_payload_.assign(static_cast<std::size_t>(n), 0);
+  release_payload_.assign(static_cast<std::size_t>(n), 0);
+  measure_mark_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void Runtime::mprotect(NodeId n, PageId page, mem::Protect prot, bool sigio) {
+  UPDSM_LOG(Trace, "mprotect node " << n << " page " << page << " -> "
+                                    << mem::to_string(prot) << " epoch "
+                                    << epoch_);
+  table(n).set_prot(page, prot);
+  if (trace_) {
+    const char* p = prot == mem::Protect::None
+                        ? "none"
+                        : (prot == mem::Protect::Read ? "r" : "rw");
+    trace_->emit("mprot n" + std::to_string(n.value()) + " p" +
+                 std::to_string(page.value()) + " " + p);
+  }
+  ++page_stats_[page.index()].mprotects;
+  const SimTime cost = os(n).mprotect_cost(page);
+  clock(n).advance(sigio ? TimeCat::Sigio : TimeCat::Os, cost);
+}
+
+void Runtime::charge_segv(NodeId n) {
+  clock(n).advance(TimeCat::Os, os(n).segv_cost());
+}
+
+void Runtime::charge_dsm(NodeId n, SimTime fixed, double per_byte_ns,
+                         std::uint64_t bytes, bool sigio) {
+  const SimTime cost =
+      fixed + static_cast<SimTime>(per_byte_ns * static_cast<double>(bytes));
+  clock(n).advance(sigio ? TimeCat::Sigio : TimeCat::Dsm, cost);
+}
+
+void Runtime::roundtrip(NodeId requester, NodeId responder, MsgKind req_kind,
+                        std::uint64_t req_bytes, std::uint64_t reply_bytes,
+                        SimTime responder_work) {
+  UPDSM_CHECK_MSG(requester != responder,
+                  "self-roundtrip on node " << requester);
+  if (trace_) {
+    trace_->emit("req n" + std::to_string(requester.value()) + ">n" +
+                 std::to_string(responder.value()) + " " +
+                 std::to_string(req_bytes) + "B " +
+                 std::to_string(reply_bytes) + "B");
+  }
+  const auto& net_costs = costs().net;
+  const SimTime req_wire = net_.record(req_kind, requester, responder,
+                                       req_bytes);
+  const SimTime reply_wire =
+      net_.record(MsgKind::DataReply, responder, requester, reply_bytes);
+
+  // Requester: send trap, then stall until the reply has been received.
+  clock(requester).advance(TimeCat::Os, net_costs.send_trap);
+  os(requester).count_send();
+  const SimTime service = net_costs.recv_trap + costs().dsm.handler_fixed +
+                          responder_work + net_costs.send_trap;
+  clock(requester).advance(TimeCat::Wait, req_wire + service + reply_wire);
+  clock(requester).advance(TimeCat::Os, net_costs.recv_trap);
+  os(requester).count_recv();
+
+  // Responder: the request interrupts it; everything runs in sigio context.
+  clock(responder).advance(TimeCat::Sigio, service);
+  os(responder).count_recv();
+  os(responder).count_send();
+}
+
+bool Runtime::flush(NodeId from, NodeId to, std::uint64_t bytes,
+                    bool reliable) {
+  UPDSM_CHECK_MSG(from != to, "self-flush on node " << from);
+  const auto& net_costs = costs().net;
+  net_.record(MsgKind::Flush, from, to, bytes);
+  clock(from).advance(TimeCat::Os, net_costs.send_trap);
+  os(from).count_send();
+  const bool delivered = reliable || net_.flush_delivered();
+  if (trace_) {
+    trace_->emit("flush n" + std::to_string(from.value()) + ">n" +
+                 std::to_string(to.value()) + " " + std::to_string(bytes) +
+                 "B" + (delivered ? "" : " drop"));
+  }
+  if (!delivered) return false;
+  clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+  os(to).count_recv();
+  return true;
+}
+
+void Runtime::control(NodeId from, NodeId to, std::uint64_t bytes) {
+  if (from == to) return;
+  if (trace_) {
+    trace_->emit("ctl n" + std::to_string(from.value()) + ">n" +
+                 std::to_string(to.value()) + " " + std::to_string(bytes) +
+                 "B");
+  }
+  const auto& net_costs = costs().net;
+  net_.record(MsgKind::Control, from, to, bytes);
+  clock(from).advance(TimeCat::Os, net_costs.send_trap);
+  os(from).count_send();
+  clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+  os(to).count_recv();
+}
+
+void Runtime::begin_measurement() {
+  measuring_ = true;
+  net_.reset_stats();
+  counters_ = ProtocolCounters{};
+  for (int i = 0; i < num_nodes(); ++i) {
+    clocks_[static_cast<std::size_t>(i)].reset_breakdown();
+    measure_mark_[static_cast<std::size_t>(i)] =
+        clocks_[static_cast<std::size_t>(i)].now();
+  }
+}
+
+void Runtime::end_measurement() {
+  UPDSM_CHECK_MSG(!ended_, "measurement window ended twice");
+  ended_ = true;
+  frozen_counters_ = counters_;
+  frozen_net_ = net_.stats();
+  measure_end_.resize(static_cast<std::size_t>(num_nodes()));
+  frozen_breakdown_.resize(static_cast<std::size_t>(num_nodes()));
+  for (int i = 0; i < num_nodes(); ++i) {
+    measure_end_[static_cast<std::size_t>(i)] =
+        clocks_[static_cast<std::size_t>(i)].now();
+    frozen_breakdown_[static_cast<std::size_t>(i)] =
+        clocks_[static_cast<std::size_t>(i)].breakdown();
+  }
+}
+
+}  // namespace updsm::dsm

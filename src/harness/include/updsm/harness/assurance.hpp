@@ -1,0 +1,49 @@
+// Overdrive-safety assurance runs (paper §5.2).
+//
+// "While running bar-s over similar data sets several times can give some
+// measure of assurance, a clean run of bar-s is by no means proof of a
+// program's repeatability." This harness operationalises that: it runs the
+// application under bar-s with the Revert fallback over `trials` perturbed
+// datasets (varying seeds) and reports whether any run trapped an
+// unpredicted write. A clean report is the paper's "some measure of
+// assurance" for enabling bar-m; a dirty one is a proof of unsafety.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "updsm/apps/registry.hpp"
+#include "updsm/dsm/config.hpp"
+
+namespace updsm::harness {
+
+struct AssuranceTrial {
+  std::uint64_t seed = 0;
+  std::uint64_t mispredictions = 0;
+  bool correct = false;  // checksum matched its own sequential run
+};
+
+struct AssuranceReport {
+  std::vector<AssuranceTrial> trials;
+
+  [[nodiscard]] bool assured() const {
+    for (const auto& t : trials) {
+      if (t.mispredictions != 0 || !t.correct) return false;
+    }
+    return !trials.empty();
+  }
+  [[nodiscard]] std::uint64_t total_mispredictions() const {
+    std::uint64_t total = 0;
+    for (const auto& t : trials) total += t.mispredictions;
+    return total;
+  }
+};
+
+/// Runs `trials` bar-s executions of `app_name` with Revert fallback,
+/// perturbing the dataset seed each time.
+[[nodiscard]] AssuranceReport assure_overdrive_safety(
+    std::string_view app_name, const dsm::ClusterConfig& config,
+    const apps::AppParams& base_params, int trials);
+
+}  // namespace updsm::harness

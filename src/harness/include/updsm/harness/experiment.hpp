@@ -1,0 +1,71 @@
+// Experiment runner: executes one (application, protocol, cluster) run and
+// captures everything the paper's tables and figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "updsm/apps/registry.hpp"
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/stats.hpp"
+#include "updsm/protocols/factory.hpp"
+#include "updsm/sim/network.hpp"
+
+namespace updsm::harness {
+
+struct RunResult {
+  std::string app;
+  std::string protocol;
+  int nodes = 0;
+  /// Result checksum (node 0); must match the sequential run bit-for-bit.
+  double checksum = 0.0;
+  /// Parallel execution time over the steady-state window.
+  sim::SimTime elapsed = 0;
+  dsm::ProtocolCounters counters;
+  sim::NetworkStats net;
+  dsm::BreakdownReport breakdown;
+  std::uint64_t barriers = 0;
+  std::uint64_t shared_bytes = 0;
+  /// Whole-run per-page event counts and the heap layout to attribute them.
+  std::vector<dsm::PageStats> page_stats;
+  std::vector<mem::Allocation> allocations;
+  std::uint32_t page_size = 0;
+};
+
+/// One row of hot-page analysis: a page, its event counts, and the shared
+/// allocation it belongs to.
+struct HotPage {
+  PageId page{0};
+  dsm::PageStats stats;
+  std::string allocation;
+};
+
+/// The `count` busiest pages of a run (by faults + mprotects), attributed
+/// to the named allocations of its shared heap.
+[[nodiscard]] std::vector<HotPage> hottest_pages(const RunResult& run,
+                                                 std::size_t count);
+
+/// Runs `app_name` under `kind` on a cluster configured by `config`
+/// (config.num_nodes nodes). The protocol kind overrides nothing else in
+/// the config.
+[[nodiscard]] RunResult run_app(std::string_view app_name,
+                                protocols::ProtocolKind kind,
+                                const dsm::ClusterConfig& config,
+                                const apps::AppParams& params);
+
+/// The paper's baseline: the same program, one process, synchronization
+/// nulled out (§3.1). Used as the speedup denominator and as the
+/// correctness reference.
+[[nodiscard]] RunResult run_sequential(std::string_view app_name,
+                                       const dsm::ClusterConfig& config,
+                                       const apps::AppParams& params);
+
+[[nodiscard]] inline double speedup(const RunResult& par,
+                                    const RunResult& seq) {
+  return par.elapsed > 0 ? static_cast<double>(seq.elapsed) /
+                               static_cast<double>(par.elapsed)
+                         : 0.0;
+}
+
+}  // namespace updsm::harness

@@ -1,0 +1,40 @@
+// Plain-text report formatting: fixed-width tables and ASCII bar charts so
+// each bench binary prints its paper artifact (Table 1, Figures 2-4) in a
+// shape directly comparable with the paper.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace updsm::harness {
+
+/// Minimal fixed-width table: set a header, append rows, print. Column
+/// widths auto-fit; numeric cells are right-aligned (detected by content).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+[[nodiscard]] std::string fmt(double v, int digits = 2);
+
+/// Grouped horizontal bar chart (one group per app, one bar per series):
+/// the textual rendering of the paper's figures.
+void print_bar_chart(std::ostream& os, const std::string& title,
+                     const std::vector<std::string>& groups,
+                     const std::vector<std::string>& series,
+                     const std::vector<std::vector<double>>& values,
+                     double max_value, int width = 48);
+
+}  // namespace updsm::harness

@@ -1,0 +1,105 @@
+#include "updsm/harness/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::harness {
+
+namespace {
+
+bool numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  UPDSM_REQUIRE(cells.size() == header_.size(),
+                "row has " << cells.size() << " cells, header has "
+                           << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const bool right = numeric_cell(row[c]);
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(width[c] + 1, '-');
+    }
+    os << "-+\n";
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string fmt(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+void print_bar_chart(std::ostream& os, const std::string& title,
+                     const std::vector<std::string>& groups,
+                     const std::vector<std::string>& series,
+                     const std::vector<std::vector<double>>& values,
+                     double max_value, int width) {
+  UPDSM_REQUIRE(values.size() == series.size(),
+                "one value row per series expected");
+  os << title << '\n' << std::string(title.size(), '=') << '\n';
+  std::size_t label_width = 0;
+  for (const auto& s : series) label_width = std::max(label_width, s.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    os << groups[g] << '\n';
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      UPDSM_REQUIRE(values[s].size() == groups.size(),
+                    "series " << series[s] << " has wrong length");
+      const double v = values[s][g];
+      const int bar = max_value > 0
+                          ? static_cast<int>(v / max_value *
+                                             static_cast<double>(width) +
+                                             0.5)
+                          : 0;
+      os << "  " << std::left
+         << std::setw(static_cast<int>(label_width)) << series[s] << " |"
+         << std::string(static_cast<std::size_t>(std::max(bar, 0)), '#')
+         << ' ' << fmt(v) << '\n';
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace updsm::harness

@@ -1,0 +1,80 @@
+// Run-length-encoded page diffs (paper §2.1.1).
+//
+// A diff captures the modifications made to one virtual-memory page as the
+// byte ranges where the current page contents differ from the `twin` (the
+// copy snapshotted at the first write access of the epoch). Because the
+// studied programs are data-race-free, concurrent diffs of the same page
+// touch disjoint ranges and can be applied to a common base in any order
+// (property-tested in tests/mem/diff_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::mem {
+
+/// One modified byte range within a page.
+struct DiffRun {
+  std::uint32_t offset = 0;  // byte offset within the page
+  std::uint32_t length = 0;  // bytes of payload
+};
+
+class Diff {
+ public:
+  Diff() = default;
+
+  /// Builds the diff `cur - twin`. Both spans must be the same length
+  /// (one page). Adjacent modified words are coalesced into single runs.
+  [[nodiscard]] static Diff create(std::span<const std::byte> twin,
+                                   std::span<const std::byte> cur);
+
+  /// A degenerate diff covering the whole page in one run: applying it
+  /// reproduces `contents` on any base. Used when a single-writer page
+  /// re-enters normal coherence and its accumulated silent modifications
+  /// must be publishable under the old write-notice id.
+  [[nodiscard]] static Diff full_page(std::span<const std::byte> contents);
+
+  /// Applies this diff to `dst` (same page length as at creation).
+  void apply(std::span<std::byte> dst) const;
+
+  /// True when the page was not actually modified (zero runs). bar-s uses
+  /// this to suppress updates for predicted-but-unwritten pages (§4.1).
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+
+  [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+  [[nodiscard]] std::span<const DiffRun> runs() const { return runs_; }
+
+  /// Bytes of modified payload.
+  [[nodiscard]] std::uint64_t payload_bytes() const { return data_.size(); }
+
+  /// Bytes this diff occupies on the wire: run table + payload.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return runs_.size() * sizeof(DiffRun) + data_.size();
+  }
+
+  /// Bytes this diff occupies in memory while retained (lmw garbage-
+  /// collection statistics, paper §2.2 "voracious appetites for memory").
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return sizeof(Diff) + runs_.capacity() * sizeof(DiffRun) +
+           data_.capacity();
+  }
+
+  /// True if the modified ranges of the two diffs intersect; data-race-free
+  /// programs never produce overlapping concurrent diffs.
+  [[nodiscard]] bool overlaps(const Diff& other) const;
+
+  /// True if every byte range of `other` is contained in this diff's
+  /// ranges: applying this diff supersedes applying `other` first (diff
+  /// squashing in homeless protocols).
+  [[nodiscard]] bool covers(const Diff& other) const;
+
+ private:
+  std::vector<DiffRun> runs_;
+  std::vector<std::byte> data_;  // concatenated run payloads
+};
+
+}  // namespace updsm::mem

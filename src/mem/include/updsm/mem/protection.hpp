@@ -1,0 +1,30 @@
+// Page protection states, mirroring mprotect(PROT_NONE / PROT_READ /
+// PROT_READ|PROT_WRITE) as CVM used them on AIX.
+#pragma once
+
+namespace updsm::mem {
+
+enum class Protect : unsigned char {
+  None = 0,       // invalid: any access faults
+  Read = 1,       // valid for reading: writes fault (write trapping)
+  ReadWrite = 2,  // fully accessible
+};
+
+[[nodiscard]] constexpr bool can_read(Protect p) { return p != Protect::None; }
+[[nodiscard]] constexpr bool can_write(Protect p) {
+  return p == Protect::ReadWrite;
+}
+
+[[nodiscard]] constexpr const char* to_string(Protect p) {
+  switch (p) {
+    case Protect::None:
+      return "none";
+    case Protect::Read:
+      return "read";
+    case Protect::ReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+}  // namespace updsm::mem

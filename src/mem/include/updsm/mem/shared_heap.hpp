@@ -1,0 +1,56 @@
+// Layout of the shared global address space.
+//
+// Applications allocate their shared arrays from this bump allocator during
+// setup (before the cluster starts); the cluster then materialises one
+// private PageTable per node covering heap.segment_pages() pages. Named
+// allocations make diagnostics and the DESIGN.md segment-size table easy to
+// produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/types.hpp"
+
+namespace updsm::mem {
+
+struct Allocation {
+  std::string name;
+  GlobalAddr addr = 0;
+  std::uint64_t bytes = 0;
+};
+
+class SharedHeap {
+ public:
+  explicit SharedHeap(std::uint32_t page_size);
+
+  [[nodiscard]] std::uint32_t page_size() const { return page_size_; }
+
+  /// Allocates `bytes` aligned to `align` (power of two, default 64 so no
+  /// element straddles a cache line boundary gratuitously).
+  GlobalAddr alloc(std::uint64_t bytes, const std::string& name,
+                   std::uint32_t align = 64);
+
+  /// Allocates starting on a fresh page: used for arrays whose sharing the
+  /// paper's compiler lays out page-aligned (avoids false sharing between
+  /// unrelated arrays; within-array false sharing remains, as in CVM).
+  GlobalAddr alloc_page_aligned(std::uint64_t bytes, const std::string& name);
+
+  [[nodiscard]] std::uint64_t bytes_used() const { return top_; }
+
+  /// Pages needed to cover the heap (minimum 1).
+  [[nodiscard]] std::uint32_t segment_pages() const;
+
+  [[nodiscard]] const std::vector<Allocation>& allocations() const {
+    return allocations_;
+  }
+
+ private:
+  std::uint32_t page_size_;
+  std::uint64_t top_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace updsm::mem

@@ -1,0 +1,115 @@
+#include "updsm/mem/diff.hpp"
+
+#include <cstring>
+
+namespace updsm::mem {
+namespace {
+
+/// Word used for the fast comparison sweep; pages are always a multiple of
+/// this size (PageTable enforces power-of-two >= 64).
+using Word = std::uint64_t;
+
+}  // namespace
+
+Diff Diff::create(std::span<const std::byte> twin,
+                  std::span<const std::byte> cur) {
+  UPDSM_CHECK_MSG(twin.size() == cur.size(),
+                  "twin/current size mismatch: " << twin.size() << " vs "
+                                                 << cur.size());
+  UPDSM_CHECK(twin.size() % sizeof(Word) == 0);
+
+  Diff diff;
+  const std::size_t words = twin.size() / sizeof(Word);
+  std::size_t w = 0;
+  while (w < words) {
+    // Skip identical words.
+    Word a;
+    Word b;
+    std::memcpy(&a, twin.data() + w * sizeof(Word), sizeof(Word));
+    std::memcpy(&b, cur.data() + w * sizeof(Word), sizeof(Word));
+    if (a == b) {
+      ++w;
+      continue;
+    }
+    // Extend the run over consecutive differing words. Word granularity
+    // (rather than byte) matches CVM's diffing and keeps runs aligned.
+    const std::size_t start = w;
+    while (w < words) {
+      std::memcpy(&a, twin.data() + w * sizeof(Word), sizeof(Word));
+      std::memcpy(&b, cur.data() + w * sizeof(Word), sizeof(Word));
+      if (a == b) break;
+      ++w;
+    }
+    DiffRun run;
+    run.offset = static_cast<std::uint32_t>(start * sizeof(Word));
+    run.length = static_cast<std::uint32_t>((w - start) * sizeof(Word));
+    const std::size_t old_size = diff.data_.size();
+    diff.data_.resize(old_size + run.length);
+    std::memcpy(diff.data_.data() + old_size, cur.data() + run.offset,
+                run.length);
+    diff.runs_.push_back(run);
+  }
+  return diff;
+}
+
+Diff Diff::full_page(std::span<const std::byte> contents) {
+  Diff diff;
+  DiffRun run;
+  run.offset = 0;
+  run.length = static_cast<std::uint32_t>(contents.size());
+  diff.runs_.push_back(run);
+  diff.data_.assign(contents.begin(), contents.end());
+  return diff;
+}
+
+void Diff::apply(std::span<std::byte> dst) const {
+  std::size_t data_pos = 0;
+  for (const DiffRun& run : runs_) {
+    UPDSM_CHECK_MSG(static_cast<std::size_t>(run.offset) + run.length <=
+                        dst.size(),
+                    "diff run [" << run.offset << ", +" << run.length
+                                 << ") beyond page of " << dst.size());
+    std::memcpy(dst.data() + run.offset, data_.data() + data_pos, run.length);
+    data_pos += run.length;
+  }
+  UPDSM_CHECK(data_pos == data_.size());
+}
+
+bool Diff::covers(const Diff& other) const {
+  // Both run lists are sorted by offset; sweep `other`'s runs against ours.
+  std::size_t i = 0;
+  for (const DiffRun& o : other.runs_) {
+    std::uint32_t pos = o.offset;
+    const std::uint32_t end = o.offset + o.length;
+    while (pos < end) {
+      while (i < runs_.size() && runs_[i].offset + runs_[i].length <= pos) {
+        ++i;
+      }
+      if (i == runs_.size() || runs_[i].offset > pos) return false;
+      pos = runs_[i].offset + runs_[i].length;
+    }
+  }
+  return true;
+}
+
+bool Diff::overlaps(const Diff& other) const {
+  // Runs are sorted by offset by construction; merge-scan.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < runs_.size() && j < other.runs_.size()) {
+    const DiffRun& a = runs_[i];
+    const DiffRun& b = other.runs_[j];
+    const std::uint32_t a_end = a.offset + a.length;
+    const std::uint32_t b_end = b.offset + b.length;
+    if (a_end <= b.offset) {
+      ++i;
+    } else if (b_end <= a.offset) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace updsm::mem

@@ -1,0 +1,15 @@
+#include "updsm/mem/page_table.hpp"
+
+namespace updsm::mem {
+
+PageTable::PageTable(std::uint32_t num_pages, std::uint32_t page_size)
+    : num_pages_(num_pages), page_size_(page_size) {
+  UPDSM_REQUIRE(num_pages > 0, "page table needs at least one page");
+  UPDSM_REQUIRE(page_size >= 64 && (page_size & (page_size - 1)) == 0,
+                "page size must be a power of two >= 64, got " << page_size);
+  prot_.assign(num_pages, Protect::None);
+  data_.assign(static_cast<std::size_t>(num_pages) * page_size,
+               std::byte{0});
+}
+
+}  // namespace updsm::mem

@@ -1,0 +1,32 @@
+#include "updsm/mem/shared_heap.hpp"
+
+namespace updsm::mem {
+
+SharedHeap::SharedHeap(std::uint32_t page_size) : page_size_(page_size) {
+  UPDSM_REQUIRE(page_size >= 64 && (page_size & (page_size - 1)) == 0,
+                "page size must be a power of two >= 64, got " << page_size);
+}
+
+GlobalAddr SharedHeap::alloc(std::uint64_t bytes, const std::string& name,
+                             std::uint32_t align) {
+  UPDSM_REQUIRE(bytes > 0, "zero-byte allocation '" << name << "'");
+  UPDSM_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two, got " << align);
+  top_ = (top_ + align - 1) & ~static_cast<std::uint64_t>(align - 1);
+  const GlobalAddr addr = top_;
+  top_ += bytes;
+  allocations_.push_back(Allocation{name, addr, bytes});
+  return addr;
+}
+
+GlobalAddr SharedHeap::alloc_page_aligned(std::uint64_t bytes,
+                                          const std::string& name) {
+  return alloc(bytes, name, page_size_);
+}
+
+std::uint32_t SharedHeap::segment_pages() const {
+  const std::uint64_t pages = (top_ + page_size_ - 1) / page_size_;
+  return static_cast<std::uint32_t>(pages == 0 ? 1 : pages);
+}
+
+}  // namespace updsm::mem

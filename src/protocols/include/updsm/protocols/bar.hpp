@@ -1,0 +1,198 @@
+// bar-i / bar-u / bar-s / bar-m: home-based barrier protocols (paper
+// §2.2.1, §4, §5).
+//
+// Every page has a home. Non-home writers capture modifications as diffs
+// and flush them to the home at each barrier (reliably -- they are
+// correctness-critical); the home's own writes need no diffs (the "home
+// effect"), only a version bump. Page faults are satisfied by whole-page
+// fetches from the home: always exactly one request/reply pair, and every
+// diff dies at the barrier that created it -- no garbage collection.
+//
+// Per-page scalar version indices (maintained by the home, distributed on
+// barrier releases) drive invalidation; runtime home *migration* after the
+// first iteration replaces Zhou's user annotations; per-page copysets turn
+// the protocol into a hybrid updater (bar-u): writers push diffs directly
+// to consumers, who apply them *inside* the barrier, eliminating both the
+// faults and lmw-u's lazy-validation segvs.
+//
+// bar-s ("overdrive"): after the sharing pattern has been learned, write
+// trapping by segv is replaced by prediction -- twins are created and pages
+// write-enabled *before* the writes happen (Figure 5). bar-m additionally
+// eliminates every mprotect: all pages predicted to be written (by the
+// application or by update application) are made writable once, when
+// overdrive engages, and protections are never touched again. bar-m is not
+// guaranteed to maintain consistency if the application diverges from the
+// learned pattern; an optional audit mode detects such divergence in tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "updsm/dsm/copyset.hpp"
+#include "updsm/dsm/protocol.hpp"
+#include "updsm/dsm/runtime.hpp"
+#include "updsm/dsm/twin_store.hpp"
+#include "updsm/mem/diff.hpp"
+
+namespace updsm::protocols {
+
+enum class BarMode {
+  Invalidate,  // bar-i
+  Update,      // bar-u
+  OverdriveS,  // bar-s: no segvs in steady state
+  OverdriveM,  // bar-m: no segvs and no mprotects in steady state
+};
+
+[[nodiscard]] constexpr const char* to_string(BarMode m) {
+  switch (m) {
+    case BarMode::Invalidate:
+      return "bar-i";
+    case BarMode::Update:
+      return "bar-u";
+    case BarMode::OverdriveS:
+      return "bar-s";
+    case BarMode::OverdriveM:
+      return "bar-m";
+  }
+  return "?";
+}
+
+class BarProtocol final : public dsm::CoherenceProtocol {
+ public:
+  explicit BarProtocol(BarMode mode) : mode_(mode) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return to_string(mode_);
+  }
+
+  void init(dsm::Runtime& rt) override;
+  void read_fault(NodeId n, PageId page) override;
+  void write_fault(NodeId n, PageId page) override;
+  void barrier_arrive(NodeId n) override;
+  void barrier_master() override;
+  void barrier_release(NodeId n) override;
+  void iteration_begin(NodeId n, std::uint64_t iteration) override;
+
+  // ---- introspection (tests, benches) ------------------------------------
+  [[nodiscard]] BarMode mode() const { return mode_; }
+  [[nodiscard]] NodeId home(PageId p) const {
+    return global_[p.index()].home;
+  }
+  [[nodiscard]] std::uint64_t version(PageId p) const {
+    return global_[p.index()].version;
+  }
+  [[nodiscard]] dsm::Copyset copyset(PageId p) const {
+    return global_[p.index()].copyset;
+  }
+  [[nodiscard]] bool overdrive_active() const { return od_active_; }
+  [[nodiscard]] std::uint64_t overdrive_period() const { return od_period_; }
+  [[nodiscard]] bool migration_done() const { return migration_done_; }
+
+ private:
+  [[nodiscard]] bool update_mode() const { return mode_ != BarMode::Invalidate; }
+  [[nodiscard]] bool overdrive_capable() const {
+    return mode_ == BarMode::OverdriveS || mode_ == BarMode::OverdriveM;
+  }
+
+  struct QueuedDiff {
+    NodeId creator;
+    mem::Diff diff;
+  };
+
+  struct PageGlobal {
+    NodeId home{0};
+    /// Scalar version index: barrier-index-plus-one of the last epoch that
+    /// modified the page; 0 = initial contents.
+    std::uint64_t version = 0;
+    /// Nodes caching the page (consumers), learned from fetches.
+    dsm::Copyset copyset;
+    /// All nodes whose non-empty diffs (or home trap-writes) touched the
+    /// page (value-based; consumers wait only for diffs that exist).
+    std::uint64_t writers_ever = 0;
+    /// All nodes that ever *trapped* a write to the page (fault-based;
+    /// drives home migration -- a node repeatedly writing values that
+    /// happen to be unchanged still deserves to own the page).
+    std::uint64_t fault_writers_ever = 0;
+    /// Home-private fast path: the home writes the page with no consumers
+    /// anywhere, so it stays read-write at the home with no trapping, no
+    /// version bumps and no barrier work until a consumer fetches it (the
+    /// logical extreme of the paper's "home effect").
+    bool untracked = false;
+    // --- per-epoch scratch, cleared by barrier_master -----------------
+    std::uint64_t writers_epoch = 0;
+    bool home_wrote = false;
+    std::vector<QueuedDiff> queued;  // foreign diffs flushed to the home
+  };
+
+  struct InboxEntry {
+    PageId page{0};
+    NodeId creator{0};
+    mem::Diff diff;
+  };
+
+  struct ChangeRecord {
+    PageId page{0};
+    std::uint64_t prev_version = 0;
+    std::uint64_t new_version = 0;
+    std::uint64_t writers = 0;  // bitmap
+    /// Wire footprint per receiving node: page + version + writers +
+    /// copyset bitmap.
+    static constexpr std::uint64_t kWireBytes = 24;
+  };
+
+  struct NodeState {
+    std::vector<std::uint64_t> cached_version;  // per page
+    std::vector<bool> dirty;                    // wrote during this epoch
+    std::vector<PageId> dirty_pages;            // insertion order
+    dsm::TwinStore twins;
+    std::vector<InboxEntry> inbox;  // update pushes received this epoch
+    // --- learning state ------------------------------------------------
+    std::uint64_t iteration = 0;
+    /// rt.epoch() at each iteration_begin call (index = iteration number).
+    std::vector<std::uint64_t> iter_begin_epochs{0};
+    /// epoch -> pages written (recorded while not in overdrive).
+    std::unordered_map<std::uint64_t, std::vector<PageId>> write_sets;
+    /// epoch -> pages that had updates applied (bar-m writable union).
+    std::unordered_map<std::uint64_t, std::vector<PageId>> update_sets;
+    /// bar-m: pages made permanently writable at overdrive engagement.
+    std::vector<bool> writable_union;
+  };
+
+  [[nodiscard]] NodeState& node(NodeId n) { return nodes_[n.index()]; }
+  [[nodiscard]] PageGlobal& gpage(PageId p) { return global_[p.index()]; }
+
+  /// Whole-page fetch from the home (the 939 us path). Marks the fetcher a
+  /// consumer. `miss` distinguishes demand faults from migration copies.
+  void fetch_page(NodeId n, PageId page, bool count_as_miss);
+
+  void note_dirty(NodeId n, PageId page);
+  void note_writer(NodeId n, PageId page);
+  void run_migration();
+  void engage_overdrive();
+  /// Predicted write set of node `n` for epoch `e` (od must be active).
+  [[nodiscard]] const std::vector<PageId>& predicted_writes(NodeId n,
+                                                            std::uint64_t e);
+  /// Pre-twin + write-enable node n's predicted pages for the next epoch
+  /// (bar-s: every barrier; bar-m: only via the engagement union).
+  void overdrive_prepare(NodeId n, std::uint64_t next_epoch);
+  void audit_unpredicted_writes(NodeId n);
+
+  BarMode mode_;
+  dsm::Runtime* rt_ = nullptr;
+  std::vector<NodeState> nodes_;
+  std::vector<PageGlobal> global_;
+  /// Pages touched this epoch (set at first write note; master consumes).
+  std::vector<PageId> epoch_touched_;
+  /// Untracked pages that gained a consumer mid-epoch: re-enter tracking
+  /// at the next barrier (processed by barrier_master).
+  std::vector<PageId> retrack_queue_;
+  std::vector<ChangeRecord> epoch_changes_;
+  bool loop_entered_ = false;
+  bool migration_done_ = false;
+  bool od_active_ = false;
+  std::uint64_t od_base_epoch_ = 0;  // first epoch of the learned iteration
+  std::uint64_t od_period_ = 0;      // barriers per iteration
+};
+
+}  // namespace updsm::protocols

@@ -1,0 +1,38 @@
+// Protocol factory: string names <-> protocol instances.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "updsm/dsm/protocol.hpp"
+
+namespace updsm::protocols {
+
+enum class ProtocolKind {
+  LmwI,  // homeless multi-writer LRC, invalidate
+  LmwU,  // homeless multi-writer LRC, hybrid update
+  BarI,  // home-based barrier protocol, invalidate
+  BarU,  // home-based barrier protocol, update
+  BarS,  // bar-u + overdrive without segvs
+  BarM,  // bar-s + no mprotects in overdrive
+  ScSw,  // sequentially consistent single-writer (extra baseline)
+  Null,  // the 1-node sequential baseline
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind kind);
+
+/// Parses "lmw-i", "bar-u", ... Throws UsageError on unknown names.
+[[nodiscard]] ProtocolKind protocol_from_string(std::string_view name);
+
+[[nodiscard]] std::unique_ptr<dsm::CoherenceProtocol> make_protocol(
+    ProtocolKind kind);
+
+/// The four protocols of Table 1 / Figure 2, in the paper's order.
+[[nodiscard]] std::vector<ProtocolKind> base_protocols();
+
+/// The six measured protocols (Table 1 + Figure 4), in presentation order.
+[[nodiscard]] std::vector<ProtocolKind> all_paper_protocols();
+
+}  // namespace updsm::protocols

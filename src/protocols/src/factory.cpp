@@ -1,0 +1,77 @@
+#include "updsm/protocols/factory.hpp"
+
+#include "updsm/common/error.hpp"
+#include "updsm/dsm/null_protocol.hpp"
+#include "updsm/protocols/bar.hpp"
+#include "updsm/protocols/lmw.hpp"
+#include "updsm/protocols/sc_sw.hpp"
+
+namespace updsm::protocols {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::LmwI:
+      return "lmw-i";
+    case ProtocolKind::LmwU:
+      return "lmw-u";
+    case ProtocolKind::BarI:
+      return "bar-i";
+    case ProtocolKind::BarU:
+      return "bar-u";
+    case ProtocolKind::BarS:
+      return "bar-s";
+    case ProtocolKind::BarM:
+      return "bar-m";
+    case ProtocolKind::ScSw:
+      return "sc-sw";
+    case ProtocolKind::Null:
+      return "null";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_from_string(std::string_view name) {
+  if (name == "lmw-i") return ProtocolKind::LmwI;
+  if (name == "lmw-u") return ProtocolKind::LmwU;
+  if (name == "bar-i") return ProtocolKind::BarI;
+  if (name == "bar-u") return ProtocolKind::BarU;
+  if (name == "bar-s") return ProtocolKind::BarS;
+  if (name == "bar-m") return ProtocolKind::BarM;
+  if (name == "sc-sw") return ProtocolKind::ScSw;
+  if (name == "null") return ProtocolKind::Null;
+  throw UsageError("unknown protocol name: " + std::string(name));
+}
+
+std::unique_ptr<dsm::CoherenceProtocol> make_protocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::LmwI:
+      return std::make_unique<LmwProtocol>(/*use_updates=*/false);
+    case ProtocolKind::LmwU:
+      return std::make_unique<LmwProtocol>(/*use_updates=*/true);
+    case ProtocolKind::BarI:
+      return std::make_unique<BarProtocol>(BarMode::Invalidate);
+    case ProtocolKind::BarU:
+      return std::make_unique<BarProtocol>(BarMode::Update);
+    case ProtocolKind::BarS:
+      return std::make_unique<BarProtocol>(BarMode::OverdriveS);
+    case ProtocolKind::BarM:
+      return std::make_unique<BarProtocol>(BarMode::OverdriveM);
+    case ProtocolKind::ScSw:
+      return std::make_unique<ScSwProtocol>();
+    case ProtocolKind::Null:
+      return std::make_unique<dsm::NullProtocol>();
+  }
+  throw InternalError("unreachable protocol kind");
+}
+
+std::vector<ProtocolKind> base_protocols() {
+  return {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+          ProtocolKind::BarU};
+}
+
+std::vector<ProtocolKind> all_paper_protocols() {
+  return {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+          ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM};
+}
+
+}  // namespace updsm::protocols

@@ -1,0 +1,75 @@
+#include "updsm/protocols/sc_sw.hpp"
+
+#include <cstring>
+
+namespace updsm::protocols {
+
+namespace {
+using mem::Protect;
+using sim::MsgKind;
+using sim::SimTime;
+}  // namespace
+
+void ScSwProtocol::init(dsm::Runtime& rt) {
+  rt_ = &rt;
+  pages_.resize(rt.num_pages());
+  // Initial exclusive owner: block distribution, like bar's initial homes.
+  const std::uint32_t pages = rt.num_pages();
+  const auto n = static_cast<std::uint32_t>(rt.num_nodes());
+  const std::uint32_t per = (pages + n - 1) / n;
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const NodeId owner{std::min(p / per, n - 1)};
+    pages_[p].owner = owner;
+    pages_[p].holders.add(owner);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      rt.table(NodeId{i}).set_prot(
+          PageId{p}, i == owner.value() ? Protect::ReadWrite : Protect::None);
+    }
+  }
+}
+
+void ScSwProtocol::transfer(NodeId n, PageId page) {
+  const NodeId owner = pages_[page.index()].owner;
+  UPDSM_CHECK(owner != n);
+  const std::uint32_t psize = rt_->page_size();
+  rt_->roundtrip(n, owner, MsgKind::DataRequest, 16, psize + 32,
+                 static_cast<SimTime>(rt_->costs().dsm.copy_per_byte_ns *
+                                      static_cast<double>(psize)));
+  std::memcpy(rt_->table(n).frame(page).data(),
+              rt_->table(owner).frame(page).data(), psize);
+  rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns, psize);
+  ++rt_->counters().pages_fetched;
+  ++rt_->counters().remote_misses;
+}
+
+void ScSwProtocol::read_fault(NodeId n, PageId page) {
+  PageDir& dir = pages_[page.index()];
+  transfer(n, page);
+  // The owner keeps its copy but loses write permission (shared state).
+  if (rt_->table(dir.owner).prot(page) == Protect::ReadWrite) {
+    rt_->mprotect(dir.owner, page, Protect::Read, /*sigio=*/true);
+  }
+  rt_->mprotect(n, page, Protect::Read);
+  dir.holders.add(n);
+}
+
+void ScSwProtocol::write_fault(NodeId n, PageId page) {
+  PageDir& dir = pages_[page.index()];
+  if (rt_->table(n).prot(page) == Protect::None) {
+    transfer(n, page);
+  }
+  // Gain exclusivity: invalidate every other holder. Each invalidation is
+  // a (small) reliable request/ack pair -- the very arbitration traffic
+  // multi-writer LRC removes.
+  dir.holders.for_each([&](NodeId holder) {
+    if (holder == n) return;
+    rt_->roundtrip(n, holder, MsgKind::DataRequest, 16, 8, 0);
+    rt_->mprotect(holder, page, Protect::None, /*sigio=*/true);
+  });
+  dir.holders.clear();
+  dir.holders.add(n);
+  dir.owner = n;
+  rt_->mprotect(n, page, Protect::ReadWrite);
+}
+
+}  // namespace updsm::protocols

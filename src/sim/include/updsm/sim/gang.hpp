@@ -1,0 +1,85 @@
+// Deterministic cooperative scheduler for simulated DSM nodes.
+//
+// Each simulated node runs its application function on a dedicated
+// std::thread, but a baton protocol admits exactly ONE runnable thread at a
+// time and hands control over only at barriers (or node exit). Rounds are
+// strictly ordered 0..n-1, so every run is bit-deterministic and free of
+// data races by construction -- no atomics or locks are needed anywhere in
+// protocol or application code.
+//
+// This is sound for the protocols under study because they are all
+// barrier-synchronous (paper §2.2.1 restricts to barrier-only codes): any
+// mid-epoch remote request is serviced against protocol state that was
+// *published at the previous barrier* and is therefore frozen while other
+// nodes execute their part of the same epoch. Publishing new state happens
+// exclusively inside the barrier callback, which runs on the controller
+// thread while every node is parked.
+//
+// Lifecycle:
+//   Gang gang(8);
+//   gang.run(node_fn /* void(int node) */,
+//            barrier_cb /* void(uint64_t barrier_index) */);
+// node_fn calls gang.barrier_wait(node) at each application barrier.
+// All nodes must execute identical barrier sequences; a node exiting while
+// another still synchronizes is reported as UsageError.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::sim {
+
+class Gang {
+ public:
+  using NodeFn = std::function<void(int)>;
+  using BarrierFn = std::function<void(std::uint64_t)>;
+
+  explicit Gang(int num_nodes);
+
+  Gang(const Gang&) = delete;
+  Gang& operator=(const Gang&) = delete;
+
+  /// Runs `node_fn(i)` for every node to completion, invoking
+  /// `barrier_cb(k)` on the controller thread at the k-th global barrier.
+  /// Rethrows the first exception raised by any node or by the callback.
+  void run(const NodeFn& node_fn, const BarrierFn& barrier_cb);
+
+  /// Called from inside node_fn: parks this node at the global barrier and
+  /// returns once the barrier callback has completed and it is this node's
+  /// turn again.
+  void barrier_wait(int node);
+
+  [[nodiscard]] int size() const { return static_cast<int>(state_.size()); }
+
+  /// Number of barriers completed so far (valid during and after run()).
+  [[nodiscard]] std::uint64_t barriers_completed() const { return barriers_; }
+
+ private:
+  enum class NodeState { Ready, AtBarrier, Done };
+  static constexpr int kController = -1;
+
+  /// Thrown into parked node threads when the gang shuts down on error.
+  struct Shutdown {};
+
+  // All private methods require mu_ held.
+  void advance_baton_locked(int after);
+  [[nodiscard]] bool all_done_locked() const;
+  void fail_locked(std::exception_ptr error);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<NodeState> state_;
+  int turn_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace updsm::sim

@@ -1,0 +1,118 @@
+// Simulated interconnect: cost computation + message/data accounting.
+//
+// The network never moves bytes itself (protocol state lives in one address
+// space); it is the single point through which every cross-node transfer
+// must be *recorded*, so that Table 1's "Messages" and "Data" columns are a
+// mechanical census of protocol behaviour. Costs follow NetworkCosts.
+//
+// Message conventions (matching the paper's counting, §3.3/Table 1):
+//  * a miss costs a request/response *pair*; the table's "Messages" column
+//    counts requests and flushes ("there are an equal number of replies"),
+//    so replies are recorded with `counts_in_table = false`;
+//  * a flush/update is a single unreliable message (no ack, droppable);
+//  * barrier arrivals and releases are synchronization messages and count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "updsm/common/rng.hpp"
+#include "updsm/common/types.hpp"
+#include "updsm/sim/cost_model.hpp"
+#include "updsm/sim/time.hpp"
+
+namespace updsm::sim {
+
+enum class MsgKind : int {
+  DataRequest = 0,   // diff request (lmw) or page request (bar)
+  DataReply = 1,     // the corresponding reply
+  Flush = 2,         // unreliable update push / diff-to-home flush
+  SyncArrive = 3,    // barrier arrival at the master
+  SyncRelease = 4,   // barrier release from the master
+  Control = 5,       // home-migration directives etc.
+};
+inline constexpr std::size_t kMsgKindCount = 6;
+
+[[nodiscard]] constexpr const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::DataRequest:
+      return "data-request";
+    case MsgKind::DataReply:
+      return "data-reply";
+    case MsgKind::Flush:
+      return "flush";
+    case MsgKind::SyncArrive:
+      return "sync-arrive";
+    case MsgKind::SyncRelease:
+      return "sync-release";
+    case MsgKind::Control:
+      return "control";
+  }
+  return "?";
+}
+
+struct MsgCounter {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;  // payload + header
+};
+
+/// Aggregate traffic statistics for a run.
+struct NetworkStats {
+  std::array<MsgCounter, kMsgKindCount> by_kind{};
+
+  [[nodiscard]] const MsgCounter& of(MsgKind k) const {
+    return by_kind[static_cast<std::size_t>(k)];
+  }
+
+  /// Table-1 "Messages": requests + flushes + sync messages (replies are
+  /// implied by requests and not double-counted, per the paper's caption).
+  [[nodiscard]] std::uint64_t table_messages() const {
+    return of(MsgKind::DataRequest).count + of(MsgKind::Flush).count +
+           of(MsgKind::SyncArrive).count + of(MsgKind::SyncRelease).count +
+           of(MsgKind::Control).count;
+  }
+
+  /// Table-1 "Data (kbytes)": every byte that crossed the wire.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : by_kind) sum += c.bytes;
+    return sum;
+  }
+
+  [[nodiscard]] std::uint64_t total_one_way_messages() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : by_kind) sum += c.count;
+    return sum;
+  }
+};
+
+/// The cluster-wide interconnect.
+class Network {
+ public:
+  Network(const NetworkCosts& costs, std::uint64_t drop_seed);
+
+  /// Records one message of `kind` with `payload_bytes` of payload and
+  /// returns its one-way wire time. Self-sends (from == to) are free and
+  /// unrecorded: a node never talks to itself over the switch.
+  SimTime record(MsgKind kind, NodeId from, NodeId to,
+                 std::uint64_t payload_bytes);
+
+  /// Decides the fate of one unreliable flush. Deterministic given the seed.
+  [[nodiscard]] bool flush_delivered();
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkCosts& costs() const { return costs_; }
+
+  std::uint64_t dropped_flushes() const { return dropped_flushes_; }
+
+  /// Clears statistics at the start of the measurement window.
+  void reset_stats();
+
+ private:
+  NetworkCosts costs_;
+  NetworkStats stats_;
+  Xoshiro256 drop_rng_;
+  std::uint64_t dropped_flushes_ = 0;
+};
+
+}  // namespace updsm::sim

@@ -1,0 +1,116 @@
+#include "updsm/sim/gang.hpp"
+
+namespace updsm::sim {
+
+Gang::Gang(int num_nodes) {
+  UPDSM_REQUIRE(num_nodes >= 1, "gang needs at least one node, got "
+                                    << num_nodes);
+  state_.assign(static_cast<std::size_t>(num_nodes), NodeState::Ready);
+}
+
+void Gang::advance_baton_locked(int after) {
+  for (int j = after + 1; j < size(); ++j) {
+    if (state_[static_cast<std::size_t>(j)] == NodeState::Ready) {
+      turn_ = j;
+      cv_.notify_all();
+      return;
+    }
+  }
+  turn_ = kController;
+  cv_.notify_all();
+}
+
+bool Gang::all_done_locked() const {
+  for (const NodeState s : state_) {
+    if (s != NodeState::Done) return false;
+  }
+  return true;
+}
+
+void Gang::fail_locked(std::exception_ptr error) {
+  if (!first_error_) first_error_ = error;
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+void Gang::barrier_wait(int node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  UPDSM_CHECK_MSG(turn_ == node,
+                  "barrier_wait(" << node << ") called out of turn (turn="
+                                  << turn_ << ")");
+  state_[static_cast<std::size_t>(node)] = NodeState::AtBarrier;
+  advance_baton_locked(node);
+  cv_.wait(lock, [&] { return shutdown_ || turn_ == node; });
+  if (shutdown_) throw Shutdown{};
+}
+
+void Gang::run(const NodeFn& node_fn, const BarrierFn& barrier_cb) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+
+  for (int i = 0; i < size(); ++i) {
+    threads.emplace_back([this, i, &node_fn] {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return shutdown_ || turn_ == i; });
+        if (shutdown_) return;
+      }
+      try {
+        node_fn(i);
+        std::unique_lock<std::mutex> lock(mu_);
+        state_[static_cast<std::size_t>(i)] = NodeState::Done;
+        advance_baton_locked(i);
+      } catch (const Shutdown&) {
+        // Torn down by another node's failure; nothing to record.
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        state_[static_cast<std::size_t>(i)] = NodeState::Done;
+        fail_locked(std::current_exception());
+      }
+    });
+  }
+
+  // Controller loop: runs barrier callbacks while all live nodes are parked.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return shutdown_ || turn_ == kController; });
+      if (shutdown_) break;
+      if (all_done_locked()) break;
+
+      // Every non-done node must be at the barrier; a mix of Done and
+      // AtBarrier means the application's barrier counts diverged.
+      bool any_done = false;
+      for (const NodeState s : state_) {
+        if (s == NodeState::Done) any_done = true;
+      }
+      if (any_done) {
+        fail_locked(std::make_exception_ptr(UsageError(
+            "a node exited while other nodes are still waiting at a "
+            "barrier (mismatched barrier counts)")));
+        break;
+      }
+
+      const std::uint64_t index = barriers_;
+      lock.unlock();
+      try {
+        barrier_cb(index);
+      } catch (...) {
+        lock.lock();
+        fail_locked(std::current_exception());
+        break;
+      }
+      lock.lock();
+      ++barriers_;
+      for (NodeState& s : state_) {
+        if (s == NodeState::AtBarrier) s = NodeState::Ready;
+      }
+      advance_baton_locked(kController);
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace updsm::sim

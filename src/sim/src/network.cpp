@@ -1,0 +1,31 @@
+#include "updsm/sim/network.hpp"
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::sim {
+
+Network::Network(const NetworkCosts& costs, std::uint64_t drop_seed)
+    : costs_(costs), drop_rng_(drop_seed) {}
+
+SimTime Network::record(MsgKind kind, NodeId from, NodeId to,
+                        std::uint64_t payload_bytes) {
+  if (from == to) return 0;
+  auto& counter = stats_.by_kind[static_cast<std::size_t>(kind)];
+  ++counter.count;
+  counter.bytes += payload_bytes + costs_.header_bytes;
+  return costs_.wire_time(payload_bytes);
+}
+
+bool Network::flush_delivered() {
+  if (costs_.flush_drop_rate <= 0.0) return true;
+  const bool delivered = drop_rng_.uniform() >= costs_.flush_drop_rate;
+  if (!delivered) ++dropped_flushes_;
+  return delivered;
+}
+
+void Network::reset_stats() {
+  stats_ = NetworkStats{};
+  dropped_flushes_ = 0;
+}
+
+}  // namespace updsm::sim

@@ -1,0 +1,33 @@
+#include "updsm/sim/os_model.hpp"
+
+#include "updsm/common/rng.hpp"
+
+namespace updsm::sim {
+
+OsModel::OsModel(const OsCosts& costs, std::uint32_t shared_pages)
+    : costs_(costs), stressed_(shared_pages >= costs.stress_threshold_pages) {}
+
+bool OsModel::slow_page(PageId page) const {
+  if (!stressed_) return false;
+  // Deterministic hash-based selection: the same page is always slow, which
+  // is what "location-dependent" means on the paper's SP-2 nodes.
+  const std::uint64_t h = splitmix64(page.value() ^ costs_.stress_salt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < costs_.slow_page_fraction;
+}
+
+SimTime OsModel::mprotect_cost(PageId page) {
+  ++counters_.mprotects;
+  if (slow_page(page)) {
+    return static_cast<SimTime>(static_cast<double>(costs_.mprotect_base) *
+                                costs_.stress_multiplier);
+  }
+  return costs_.mprotect_base;
+}
+
+SimTime OsModel::segv_cost() {
+  ++counters_.segvs;
+  return costs_.segv;
+}
+
+}  // namespace updsm::sim

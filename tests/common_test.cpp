@@ -1,0 +1,126 @@
+// Tests for the common/ layer: strong ids, deterministic RNG, checking
+// macros and the copyset bitmap.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "updsm/common/error.hpp"
+#include "updsm/common/rng.hpp"
+#include "updsm/common/types.hpp"
+#include "updsm/dsm/copyset.hpp"
+
+namespace updsm {
+namespace {
+
+TEST(StrongIdTest, ComparesAndHashes) {
+  const PageId a{3};
+  const PageId b{7};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(PageId{3}, a);
+  std::unordered_set<PageId> set{a, b, PageId{3}};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_same_v<PageId, NodeId>);
+  static_assert(!std::is_convertible_v<PageId, NodeId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, PageId>);
+}
+
+TEST(RngTest, SplitmixIsAStatelessHash) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(RngTest, XoshiroIsDeterministicPerSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  Xoshiro256 c(124);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.bounded(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(ErrorTest, CheckMacrosThrowTypedErrors) {
+  EXPECT_THROW(UPDSM_CHECK(1 == 2), InternalError);
+  EXPECT_THROW(UPDSM_CHECK_MSG(false, "ctx " << 42), InternalError);
+  EXPECT_THROW(UPDSM_REQUIRE(false, "user error " << 1), UsageError);
+  EXPECT_NO_THROW(UPDSM_CHECK(true));
+  EXPECT_NO_THROW(UPDSM_REQUIRE(true, "fine"));
+  try {
+    UPDSM_CHECK_MSG(false, "value=" << 7);
+    FAIL();
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("value=7"), std::string::npos);
+  }
+}
+
+TEST(CopysetTest, AddRemoveContains) {
+  dsm::Copyset cs;
+  EXPECT_TRUE(cs.empty());
+  cs.add(NodeId{0});
+  cs.add(NodeId{5});
+  cs.add(NodeId{63});
+  EXPECT_TRUE(cs.contains(NodeId{5}));
+  EXPECT_FALSE(cs.contains(NodeId{4}));
+  EXPECT_EQ(cs.count(), 3);
+  cs.remove(NodeId{5});
+  EXPECT_FALSE(cs.contains(NodeId{5}));
+  EXPECT_EQ(cs.count(), 2);
+}
+
+TEST(CopysetTest, ForEachVisitsInNodeOrder) {
+  dsm::Copyset cs;
+  cs.add(NodeId{9});
+  cs.add(NodeId{2});
+  cs.add(NodeId{40});
+  std::vector<std::uint32_t> visited;
+  cs.for_each([&](NodeId n) { visited.push_back(n.value()); });
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{2, 9, 40}));
+}
+
+TEST(CopysetTest, BitsRoundTrip) {
+  dsm::Copyset cs;
+  cs.add(NodeId{1});
+  cs.add(NodeId{3});
+  const auto restored = dsm::Copyset::from_bits(cs.bits());
+  EXPECT_EQ(restored, cs);
+  EXPECT_EQ(cs.bits(), 0b1010u);
+}
+
+TEST(CopysetTest, Rejects64PlusNodes) {
+  dsm::Copyset cs;
+  EXPECT_THROW(cs.add(NodeId{64}), InternalError);
+}
+
+}  // namespace
+}  // namespace updsm

@@ -1,0 +1,216 @@
+// Unit and property tests for the run-length-encoded diff engine -- the
+// mechanism every protocol's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "updsm/common/rng.hpp"
+#include "updsm/mem/diff.hpp"
+
+namespace updsm::mem {
+namespace {
+
+using Page = std::vector<std::byte>;
+
+Page zero_page(std::size_t size) { return Page(size, std::byte{0}); }
+
+Page random_page(std::size_t size, std::uint64_t seed) {
+  Page page(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    page[i] = static_cast<std::byte>(splitmix64(seed + i) & 0xff);
+  }
+  return page;
+}
+
+TEST(DiffTest, EmptyWhenIdentical) {
+  const Page twin = random_page(4096, 1);
+  const Diff diff = Diff::create(twin, twin);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.run_count(), 0u);
+  EXPECT_EQ(diff.payload_bytes(), 0u);
+  EXPECT_EQ(diff.wire_bytes(), 0u);
+}
+
+TEST(DiffTest, SingleWordChange) {
+  const Page twin = zero_page(4096);
+  Page cur = twin;
+  cur[128] = std::byte{0xff};
+  const Diff diff = Diff::create(twin, cur);
+  EXPECT_EQ(diff.run_count(), 1u);
+  // Word granularity: the run covers the containing 8-byte word.
+  EXPECT_EQ(diff.payload_bytes(), 8u);
+  EXPECT_EQ(diff.runs()[0].offset, 128u);
+}
+
+TEST(DiffTest, AdjacentWordsCoalesce) {
+  const Page twin = zero_page(4096);
+  Page cur = twin;
+  for (std::size_t i = 64; i < 96; ++i) cur[i] = std::byte{1};
+  const Diff diff = Diff::create(twin, cur);
+  EXPECT_EQ(diff.run_count(), 1u);
+  EXPECT_EQ(diff.payload_bytes(), 32u);
+}
+
+TEST(DiffTest, DisjointRunsStaySeparate) {
+  const Page twin = zero_page(4096);
+  Page cur = twin;
+  cur[0] = std::byte{1};
+  cur[2048] = std::byte{2};
+  cur[4088] = std::byte{3};
+  const Diff diff = Diff::create(twin, cur);
+  EXPECT_EQ(diff.run_count(), 3u);
+}
+
+TEST(DiffTest, ApplyReconstructsExactly) {
+  const Page twin = random_page(8192, 7);
+  Page cur = twin;
+  // Scatter modifications.
+  for (std::size_t i = 0; i < 8192; i += 321) cur[i] = std::byte{0xaa};
+  const Diff diff = Diff::create(twin, cur);
+  Page target = twin;
+  diff.apply(target);
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), cur.size()), 0);
+}
+
+TEST(DiffTest, FullPageAppliesOnAnyBase) {
+  const Page contents = random_page(4096, 11);
+  const Diff diff = Diff::full_page(contents);
+  EXPECT_EQ(diff.run_count(), 1u);
+  EXPECT_EQ(diff.payload_bytes(), 4096u);
+  Page target = random_page(4096, 99);  // arbitrary garbage base
+  diff.apply(target);
+  EXPECT_EQ(std::memcmp(target.data(), contents.data(), 4096), 0);
+}
+
+TEST(DiffTest, OverlapsDetectsIntersection) {
+  const Page twin = zero_page(4096);
+  Page a = twin;
+  Page b = twin;
+  for (std::size_t i = 0; i < 64; ++i) a[i] = std::byte{1};
+  for (std::size_t i = 56; i < 128; ++i) b[i] = std::byte{2};
+  const Diff da = Diff::create(twin, a);
+  const Diff db = Diff::create(twin, b);
+  EXPECT_TRUE(da.overlaps(db));
+  EXPECT_TRUE(db.overlaps(da));
+
+  Page c = twin;
+  for (std::size_t i = 1024; i < 1100; ++i) c[i] = std::byte{3};
+  const Diff dc = Diff::create(twin, c);
+  EXPECT_FALSE(da.overlaps(dc));
+  EXPECT_FALSE(dc.overlaps(da));
+}
+
+TEST(DiffTest, CoversIsContainment) {
+  const Page twin = zero_page(4096);
+  Page big = twin;
+  for (std::size_t i = 0; i < 512; ++i) big[i] = std::byte{1};
+  Page small = twin;
+  for (std::size_t i = 128; i < 256; ++i) small[i] = std::byte{2};
+  Page other = twin;
+  for (std::size_t i = 480; i < 600; ++i) other[i] = std::byte{3};
+  const Diff dbig = Diff::create(twin, big);
+  const Diff dsmall = Diff::create(twin, small);
+  const Diff dother = Diff::create(twin, other);
+  EXPECT_TRUE(dbig.covers(dsmall));
+  EXPECT_FALSE(dsmall.covers(dbig));
+  EXPECT_FALSE(dbig.covers(dother));  // 512..600 is uncovered
+  EXPECT_TRUE(dbig.covers(Diff::create(twin, twin)));  // empty is covered
+}
+
+TEST(DiffTest, MismatchedSizesRejected) {
+  const Page a = zero_page(4096);
+  const Page b = zero_page(8192);
+  EXPECT_THROW((void)Diff::create(a, b), InternalError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: randomized modification patterns at several page sizes.
+// ---------------------------------------------------------------------------
+
+struct DiffPropertyCase {
+  std::size_t page_size;
+  std::uint64_t seed;
+  double density;  // fraction of words modified
+};
+
+class DiffPropertyTest : public ::testing::TestWithParam<DiffPropertyCase> {};
+
+TEST_P(DiffPropertyTest, RoundTripAndAccounting) {
+  const auto& param = GetParam();
+  const Page twin = random_page(param.page_size, param.seed);
+  Page cur = twin;
+  Xoshiro256 rng(param.seed ^ 0x5eed);
+  std::size_t modified_words = 0;
+  for (std::size_t w = 0; w < param.page_size / 8; ++w) {
+    if (rng.uniform() < param.density) {
+      cur[w * 8 + rng.bounded(8)] = static_cast<std::byte>(rng.bounded(256));
+      ++modified_words;
+    }
+  }
+  const Diff diff = Diff::create(twin, cur);
+
+  // apply(twin copy) == cur, always.
+  Page target = twin;
+  diff.apply(target);
+  ASSERT_EQ(std::memcmp(target.data(), cur.data(), cur.size()), 0);
+
+  // Applying twice is idempotent.
+  diff.apply(target);
+  ASSERT_EQ(std::memcmp(target.data(), cur.data(), cur.size()), 0);
+
+  // Payload covers at least the modified words (note: a random byte can
+  // equal the old value, so <=), never more than the whole page.
+  EXPECT_LE(diff.payload_bytes(), param.page_size);
+  EXPECT_LE(diff.payload_bytes(), 8 * modified_words + param.page_size / 64);
+  // wire = run table + payload.
+  EXPECT_EQ(diff.wire_bytes(),
+            diff.run_count() * sizeof(DiffRun) + diff.payload_bytes());
+  // A diff always covers itself and the empty diff.
+  EXPECT_TRUE(diff.covers(diff));
+}
+
+TEST_P(DiffPropertyTest, ConcurrentDisjointDiffsMergeOrderIndependently) {
+  const auto& param = GetParam();
+  const Page base = random_page(param.page_size, param.seed);
+  // Two "nodes" modify disjoint interleaved word ranges (data-race-free).
+  Page a = base;
+  Page b = base;
+  for (std::size_t w = 0; w < param.page_size / 8; w += 2) {
+    a[w * 8] = std::byte{0x11};
+    if (w + 1 < param.page_size / 8) b[(w + 1) * 8] = std::byte{0x22};
+  }
+  const Diff da = Diff::create(base, a);
+  const Diff db = Diff::create(base, b);
+  ASSERT_FALSE(da.overlaps(db));
+
+  Page ab = base;
+  da.apply(ab);
+  db.apply(ab);
+  Page ba = base;
+  db.apply(ba);
+  da.apply(ba);
+  EXPECT_EQ(std::memcmp(ab.data(), ba.data(), ab.size()), 0);
+  // The merge contains both nodes' modifications.
+  EXPECT_EQ(ab[0], std::byte{0x11});
+  EXPECT_EQ(ab[16 + 8 - 16], ab[8]);  // b's first mod at word 1
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, DiffPropertyTest,
+    ::testing::Values(DiffPropertyCase{1024, 1, 0.02},
+                      DiffPropertyCase{1024, 2, 0.5},
+                      DiffPropertyCase{4096, 3, 0.01},
+                      DiffPropertyCase{4096, 4, 0.25},
+                      DiffPropertyCase{8192, 5, 0.02},
+                      DiffPropertyCase{8192, 6, 0.5},
+                      DiffPropertyCase{8192, 7, 0.95},
+                      DiffPropertyCase{16384, 8, 0.1}),
+    [](const ::testing::TestParamInfo<DiffPropertyCase>& info) {
+      return "p" + std::to_string(info.param.page_size) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace updsm::mem

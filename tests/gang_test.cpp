@@ -1,0 +1,138 @@
+// Tests for the deterministic gang scheduler: strict node ordering, barrier
+// callback sequencing, error propagation and misuse detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "updsm/sim/gang.hpp"
+
+namespace updsm::sim {
+namespace {
+
+TEST(GangTest, RunsNodesInStrictOrderEveryRound) {
+  Gang gang(4);
+  std::vector<int> order;
+  gang.run(
+      [&](int node) {
+        for (int round = 0; round < 3; ++round) {
+          order.push_back(node);  // safe: one runnable thread at a time
+          gang.barrier_wait(node);
+        }
+      },
+      [](std::uint64_t) {});
+  ASSERT_EQ(order.size(), 12u);
+  for (int round = 0; round < 3; ++round) {
+    for (int node = 0; node < 4; ++node) {
+      EXPECT_EQ(order[static_cast<std::size_t>(round * 4 + node)], node);
+    }
+  }
+  EXPECT_EQ(gang.barriers_completed(), 3u);
+}
+
+TEST(GangTest, BarrierCallbackRunsBetweenRounds) {
+  Gang gang(2);
+  std::vector<std::string> log;
+  gang.run(
+      [&](int node) {
+        log.push_back("n" + std::to_string(node));
+        gang.barrier_wait(node);
+        log.push_back("n" + std::to_string(node) + "'");
+      },
+      [&](std::uint64_t index) {
+        log.push_back("b" + std::to_string(index));
+      });
+  const std::vector<std::string> expected{"n0", "n1", "b0", "n0'", "n1'"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(GangTest, DeterministicAcrossRuns) {
+  auto trace = [] {
+    Gang gang(3);
+    std::vector<int> order;
+    gang.run(
+        [&](int node) {
+          for (int i = 0; i < 5; ++i) {
+            order.push_back(node * 10 + i);
+            gang.barrier_wait(node);
+          }
+        },
+        [](std::uint64_t) {});
+    return order;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(GangTest, NodeExceptionPropagates) {
+  Gang gang(4);
+  EXPECT_THROW(
+      gang.run(
+          [&](int node) {
+            gang.barrier_wait(node);
+            if (node == 2) throw std::runtime_error("node 2 died");
+            gang.barrier_wait(node);
+          },
+          [](std::uint64_t) {}),
+      std::runtime_error);
+}
+
+TEST(GangTest, BarrierCallbackExceptionPropagates) {
+  Gang gang(2);
+  EXPECT_THROW(gang.run(
+                   [&](int node) {
+                     gang.barrier_wait(node);
+                     gang.barrier_wait(node);
+                   },
+                   [](std::uint64_t index) {
+                     if (index == 1) throw UsageError("callback failure");
+                   }),
+               UsageError);
+}
+
+TEST(GangTest, MismatchedBarrierCountsDetected) {
+  Gang gang(3);
+  EXPECT_THROW(gang.run(
+                   [&](int node) {
+                     gang.barrier_wait(node);
+                     if (node != 0) gang.barrier_wait(node);  // node 0 exits
+                   },
+                   [](std::uint64_t) {}),
+               UsageError);
+}
+
+TEST(GangTest, SingleNodeNeedsNoBarriers) {
+  Gang gang(1);
+  int runs = 0;
+  gang.run([&](int) { ++runs; }, [](std::uint64_t) {});
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(gang.barriers_completed(), 0u);
+}
+
+TEST(GangTest, SingleNodeBarriersWork) {
+  Gang gang(1);
+  gang.run(
+      [&](int node) {
+        for (int i = 0; i < 10; ++i) gang.barrier_wait(node);
+      },
+      [](std::uint64_t) {});
+  EXPECT_EQ(gang.barriers_completed(), 10u);
+}
+
+TEST(GangTest, RejectsZeroNodes) { EXPECT_THROW(Gang(0), UsageError); }
+
+TEST(GangTest, ManyNodesManyRounds) {
+  Gang gang(16);
+  std::vector<int> counts(16, 0);
+  gang.run(
+      [&](int node) {
+        for (int i = 0; i < 50; ++i) {
+          ++counts[static_cast<std::size_t>(node)];
+          gang.barrier_wait(node);
+        }
+      },
+      [](std::uint64_t) {});
+  for (const int c : counts) EXPECT_EQ(c, 50);
+  EXPECT_EQ(gang.barriers_completed(), 50u);
+}
+
+}  // namespace
+}  // namespace updsm::sim

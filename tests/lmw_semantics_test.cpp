@@ -1,0 +1,263 @@
+// Protocol-semantics tests specific to the homeless lmw protocols:
+// the paper §2.1 anti-dependence guarantee, write-notice-driven
+// invalidation, diff retention (Figure 1), garbage collection, the
+// single-writer fast path, and lmw-u's stored-update behaviour.
+#include <gtest/gtest.h>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/protocols/factory.hpp"
+#include "updsm/protocols/lmw.hpp"
+
+namespace updsm {
+namespace {
+
+using dsm::Cluster;
+using dsm::ClusterConfig;
+using dsm::NodeContext;
+using protocols::LmwProtocol;
+using protocols::ProtocolKind;
+
+ClusterConfig config3() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.page_size = 1024;
+  return cfg;
+}
+
+TEST(LmwSemanticsTest, AntiDependenceReturnsPreEpochValue) {
+  // Paper §2.1: "If process pi writes to data x during the same barrier
+  // epoch in which pj reads x, the value returned by the read ... is
+  // always the last value written prior to the previous barrier." The gang
+  // runs node 0 (the writer) before node 1 (the reader) within the epoch,
+  // so a protocol that leaked current-epoch data would return the newer
+  // value. Node 1 also writes another word of the page every epoch (multi-
+  // writer false sharing), which keeps the page in replica-based coherence
+  // -- where the guarantee lives.
+  ClusterConfig cfg = config3();
+  cfg.num_nodes = 2;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(8 * 16, "x");
+
+  for (const auto kind : {ProtocolKind::LmwI, ProtocolKind::LmwU}) {
+    Cluster cluster(cfg, heap, protocols::make_protocol(kind));
+    cluster.run([&](NodeContext& ctx) {
+      auto x = ctx.array<std::uint64_t>(a, 16);
+      if (ctx.node() == 0) x.set(0, 5);
+      if (ctx.node() == 1) x.set(8, 90);
+      ctx.barrier();
+      // Race epoch 1: the write of 10 is concurrent with the read of x[0].
+      if (ctx.node() == 0) {
+        x.set(0, 10);
+      } else {
+        EXPECT_EQ(x.get(0), 5u) << protocols::to_string(kind);
+        x.set(8, 91);
+      }
+      ctx.barrier();
+      // Race epoch 2: same shape, with copysets now populated.
+      if (ctx.node() == 0) {
+        x.set(0, 111);
+      } else {
+        EXPECT_EQ(x.get(0), 10u) << protocols::to_string(kind);
+        x.set(8, 92);
+      }
+      ctx.barrier();
+      EXPECT_EQ(x.get(0), 111u);
+      EXPECT_EQ(x.get(8), 92u);
+      ctx.barrier();
+    });
+  }
+}
+
+TEST(LmwSemanticsTest, SingleWriterModeServesLiveData) {
+  // The flip side: once a page is in single-writer mode nobody holds a
+  // replica, so a racing reader is served the owner's live frame -- the
+  // §2.1 guarantee applies to pages under replica-based coherence, and a
+  // first-touch read of an exclusive page is a true unsynchronized race
+  // (LRC permits either value; TreadMarks-style single-writer mode picks
+  // the live one).
+  ClusterConfig cfg = config3();
+  cfg.num_nodes = 2;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(8 * 16, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<std::uint64_t>(a, 16);
+    if (ctx.node() == 0) x.set(0, 10);
+    ctx.barrier();  // sole writer + empty copyset -> exclusive
+    if (ctx.node() == 0) {
+      x.set(0, 111);  // silent write, no trap
+    } else {
+      EXPECT_EQ(x.get(0), 111u) << "live-frame serve from the single writer";
+    }
+    ctx.barrier();
+  });
+  EXPECT_GT(cluster.runtime().counters().private_exits, 0u);
+}
+
+TEST(LmwSemanticsTest, DiffsRetainedAfterServing) {
+  // Figure 1: P1's diff cannot be discarded after P2 fetched it, because
+  // P3 may request it later. Retained bytes must stay nonzero after the
+  // first service and the late reader must still succeed.
+  const ClusterConfig cfg = config3();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(128 * 8, "x");
+
+  auto protocol = protocols::make_protocol(ProtocolKind::LmwI);
+  auto* lmw = dynamic_cast<LmwProtocol*>(protocol.get());
+  ASSERT_NE(lmw, nullptr);
+  Cluster cluster(cfg, heap, std::move(protocol));
+  std::uint64_t retained_after_first_fetch = 0;
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 128);
+    if (ctx.node() == 0) {
+      auto w = x.write_all();
+      for (std::size_t i = 0; i < 128; ++i) w[i] = static_cast<double>(i);
+    }
+    ctx.barrier();
+    if (ctx.node() == 1) {
+      EXPECT_DOUBLE_EQ(x.get(5), 5.0);  // P2 fetches the diff
+      retained_after_first_fetch = lmw->retained_diff_bytes();
+    }
+    ctx.barrier();
+    if (ctx.node() == 2) {
+      EXPECT_DOUBLE_EQ(x.get(7), 7.0);  // P3 fetches the SAME diff later
+    }
+    ctx.barrier();
+  });
+  EXPECT_GT(retained_after_first_fetch, 0u)
+      << "creator must keep the diff after serving it";
+}
+
+TEST(LmwSemanticsTest, GarbageCollectionTriggersAndPreservesData) {
+  ClusterConfig cfg = config3();
+  cfg.lmw_gc_threshold_bytes = 16 * 1024;  // tiny: force GC quickly
+  mem::SharedHeap heap(cfg.page_size);
+  constexpr std::size_t kCount = 2048;  // 16 pages
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "x");
+
+  auto protocol = protocols::make_protocol(ProtocolKind::LmwI);
+  auto* lmw = dynamic_cast<LmwProtocol*>(protocol.get());
+  Cluster cluster(cfg, heap, std::move(protocol));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<double>(a, kCount);
+    const auto me = static_cast<std::size_t>(ctx.node());
+    for (int iter = 1; iter <= 8; ++iter) {
+      // Rotate writers so pages never become single-writer exclusive and
+      // diffs keep accumulating.
+      const auto writer = static_cast<std::size_t>(
+          (iter + static_cast<int>(me)) % ctx.num_nodes());
+      const std::size_t chunk = kCount / 3;
+      auto w = x.write_view(writer * chunk, writer * chunk + chunk);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        w[i] = iter * 1e4 + static_cast<double>(writer * chunk + i);
+      }
+      ctx.barrier();
+      // All nodes read everything: data must survive collection.
+      for (std::size_t i = 0; i < kCount; i += 173) {
+        const auto owner = i / chunk >= 3 ? 2 : i / chunk;
+        const auto expected_writer =
+            static_cast<std::size_t>((iter + static_cast<int>(owner)) %
+                                     ctx.num_nodes());
+        (void)expected_writer;
+        ASSERT_GT(x.get(i), 0.0);
+      }
+      ctx.barrier();
+    }
+  });
+  EXPECT_GT(lmw->gc_rounds(), 0u) << "the tiny threshold must force a GC";
+  EXPECT_GT(cluster.runtime().counters().retained_diff_bytes_peak,
+            cfg.lmw_gc_threshold_bytes);
+}
+
+TEST(LmwSemanticsTest, SingleWriterModeStopsDiffTraffic) {
+  ClusterConfig cfg = config3();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(384 * 8, "x");  // 3 pages
+
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  std::uint64_t diffs_mid = 0;
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 384);
+    const auto me = static_cast<std::size_t>(ctx.node());
+    for (int iter = 1; iter <= 10; ++iter) {
+      ctx.iteration_begin();
+      // Perfectly private: node k writes its own page, nobody reads.
+      auto w = x.write_view(me * 128, me * 128 + 128);
+      for (std::size_t i = 0; i < 128; ++i) w[i] = iter + i;
+      ctx.barrier();
+      if (iter == 3 && ctx.node() == 0) {
+        diffs_mid = cluster.runtime().counters().diffs_created;
+      }
+    }
+  });
+  // After single-writer entry (iteration 1-2), no further diffs at all.
+  EXPECT_EQ(cluster.runtime().counters().diffs_created, diffs_mid);
+  EXPECT_GT(cluster.runtime().counters().private_entries, 0u);
+  EXPECT_EQ(cluster.runtime().counters().private_exits, 0u);
+}
+
+TEST(LmwSemanticsTest, SingleWriterServesAccumulatedSilentWrites) {
+  const ClusterConfig cfg = config3();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(128 * 8, "x");
+
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 128);
+    // Node 0 writes the page for several epochs (silently, once exclusive).
+    for (int iter = 1; iter <= 5; ++iter) {
+      if (ctx.node() == 0) {
+        auto w = x.write_view(0, 128);
+        for (std::size_t i = 0; i < 128; ++i) w[i] = iter * 100.0 + i;
+      }
+      ctx.barrier();
+    }
+    // A late reader must see the newest values (node 1: whole-page serve);
+    // a second late reader (node 2) exercises the republished full diff.
+    if (ctx.node() == 1) {
+      EXPECT_DOUBLE_EQ(x.get(3), 503.0);
+    }
+    ctx.barrier();
+    if (ctx.node() == 2) {
+      EXPECT_DOUBLE_EQ(x.get(100), 600.0);
+    }
+    ctx.barrier();
+  });
+  EXPECT_GT(cluster.runtime().counters().private_exits, 0u);
+}
+
+TEST(LmwSemanticsTest, LmwUStoresUpdatesAndValidatesWithoutNetwork) {
+  ClusterConfig cfg = config3();
+  cfg.num_nodes = 2;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(128 * 8, "x");
+
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwU));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 128);
+    for (int iter = 1; iter <= 6; ++iter) {
+      ctx.iteration_begin();
+      if (ctx.node() == 0) {
+        auto w = x.write_view(0, 128);
+        for (std::size_t i = 0; i < 128; ++i) w[i] = iter * 10.0 + i;
+      }
+      ctx.barrier();
+      if (ctx.node() == 1) {
+        EXPECT_DOUBLE_EQ(x.get(2), iter * 10.0 + 2);
+      }
+      ctx.barrier();
+    }
+  });
+  const auto& counters = cluster.runtime().counters();
+  // The consumer joins the copyset at its first fault; later epochs are
+  // served by stored updates: faults happen but missing over the network
+  // only once (paper §3.3: lmw-u's faults are satisfied locally).
+  EXPECT_GT(counters.updates_stored, 0u);
+  EXPECT_LE(counters.remote_misses, 2u);
+  EXPECT_GT(counters.read_faults, 4u)
+      << "lmw-u still takes segvs for lazy validation";
+}
+
+}  // namespace
+}  // namespace updsm

@@ -1,0 +1,134 @@
+// NodeContext / SharedArray edge cases: view boundaries, multi-page spans,
+// type handling, and the write-trap semantics of view acquisition.
+#include <gtest/gtest.h>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/dsm/null_protocol.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace updsm {
+namespace {
+
+using dsm::Cluster;
+using dsm::ClusterConfig;
+using dsm::NodeContext;
+using protocols::ProtocolKind;
+
+ClusterConfig one_node() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.page_size = 1024;
+  return cfg;
+}
+
+TEST(SharedArrayTest, EmptyViewsAreLegalAndFree) {
+  const ClusterConfig cfg = one_node();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(64 * 8, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::Null));
+  cluster.run([&](NodeContext& ctx) {
+    auto arr = ctx.array<double>(a, 64);
+    EXPECT_TRUE(arr.read_view(10, 10).empty());
+    EXPECT_TRUE(arr.write_view(0, 0).empty());
+    EXPECT_THROW((void)arr.read_view(5, 3), UsageError);   // reversed
+    EXPECT_THROW((void)arr.read_view(0, 65), UsageError);  // past the end
+  });
+}
+
+TEST(SharedArrayTest, ViewsSpanPagesContiguously) {
+  const ClusterConfig cfg = one_node();
+  mem::SharedHeap heap(cfg.page_size);
+  constexpr std::size_t kCount = 1024;  // 8 pages of 1 KB
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::Null));
+  cluster.run([&](NodeContext& ctx) {
+    auto arr = ctx.array<double>(a, kCount);
+    auto w = arr.write_all();
+    for (std::size_t i = 0; i < kCount; ++i) w[i] = static_cast<double>(i);
+    // A view crossing several page boundaries sees contiguous data.
+    auto r = arr.read_view(100, 900);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      ASSERT_DOUBLE_EQ(r[i], static_cast<double>(100 + i));
+    }
+  });
+}
+
+TEST(SharedArrayTest, DifferentElementTypesShareTheHeap) {
+  const ClusterConfig cfg = one_node();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr da = heap.alloc_page_aligned(16 * 8, "doubles");
+  const GlobalAddr ia = heap.alloc_page_aligned(16 * 4, "ints");
+  const GlobalAddr fa = heap.alloc_page_aligned(16 * 4, "floats");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::Null));
+  cluster.run([&](NodeContext& ctx) {
+    auto d = ctx.array<double>(da, 16);
+    auto i32 = ctx.array<std::int32_t>(ia, 16);
+    auto f = ctx.array<float>(fa, 16);
+    d.set(3, 2.5);
+    i32.set(3, -7);
+    f.set(3, 1.25f);
+    EXPECT_DOUBLE_EQ(d.get(3), 2.5);
+    EXPECT_EQ(i32.get(3), -7);
+    EXPECT_FLOAT_EQ(f.get(3), 1.25f);
+  });
+}
+
+TEST(SharedArrayTest, WriteViewAcquisitionIsTheWriteTrap) {
+  // Taking a write view IS a write access: the trap fires per page the
+  // view covers, even if nothing is stored through it. This mirrors
+  // hardware, where the segv happens on the first touch, and it is why
+  // bar-s can create "pure overhead" zero-length diffs.
+  ClusterConfig cfg = one_node();
+  cfg.num_nodes = 2;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(256 * 8, "x");  // 2 pages
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  cluster.run([&](NodeContext& ctx) {
+    if (ctx.node() == 0) {
+      auto arr = ctx.array<double>(a, 256);
+      (void)arr.write_view(0, 256);  // touch both pages, store nothing
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(cluster.runtime().counters().write_faults, 2u);
+  EXPECT_EQ(cluster.runtime().counters().twins_created, 2u);
+  EXPECT_EQ(cluster.runtime().counters().zero_diffs, 2u);
+  EXPECT_EQ(cluster.runtime().counters().remote_misses, 0u);
+}
+
+TEST(NodeContextTest, ComputeChargesOnlyAppTime) {
+  const ClusterConfig cfg = one_node();
+  mem::SharedHeap heap(cfg.page_size);
+  heap.alloc_page_aligned(64, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::Null));
+  cluster.run([&](NodeContext& ctx) {
+    ctx.compute(sim::usec(100));
+    ctx.compute_flops(1000);  // 1000 * flop_ns
+  });
+  const auto sum = cluster.breakdown().summed();
+  const double expected_us =
+      100.0 + 1000.0 * cluster.runtime().costs().app.flop_ns / 1000.0;
+  EXPECT_NEAR(sim::to_usec(sum.app), expected_us, 0.5);
+  EXPECT_EQ(sum.os, 0);
+  EXPECT_EQ(sum.wait, 0);
+}
+
+TEST(NodeContextTest, IdsAndGeometryAccessors) {
+  ClusterConfig cfg = one_node();
+  cfg.num_nodes = 3;
+  mem::SharedHeap heap(cfg.page_size);
+  heap.alloc_page_aligned(64, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  std::vector<int> seen;
+  cluster.run([&](NodeContext& ctx) {
+    EXPECT_EQ(ctx.num_nodes(), 3);
+    EXPECT_EQ(ctx.page_size(), 1024u);
+    EXPECT_EQ(ctx.id().value(), static_cast<std::uint32_t>(ctx.node()));
+    seen.push_back(ctx.node());  // gang: one runnable thread at a time
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace updsm

@@ -1,0 +1,288 @@
+// bar-s / bar-m overdrive behaviour (paper §4.1 and §5, Figure 5).
+//
+// Overdrive replaces segv-based write trapping with history-based
+// prediction. These tests verify: correct results under a stable iterative
+// pattern; engagement timing; the elimination of segvs (bar-s) and of all
+// mprotects (bar-m) in steady state; the Strict / Revert fallback on
+// divergent patterns; and the audit's detection of bar-m's silent
+// divergence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/protocols/bar.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace updsm {
+namespace {
+
+using dsm::Cluster;
+using dsm::ClusterConfig;
+using dsm::NodeContext;
+using dsm::OverdriveFallback;
+using protocols::BarMode;
+using protocols::BarProtocol;
+using protocols::ProtocolKind;
+
+constexpr std::size_t kCount = 1024;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.page_size = 1024;
+  return cfg;
+}
+
+/// A stable two-epoch iteration: phase 1 writes the node's block of `a`
+/// and reads neighbours of `b`; phase 2 the reverse (Figure 5's x/y shape).
+void stable_app(NodeContext& ctx, GlobalAddr a_base, GlobalAddr b_base,
+                int iterations) {
+  auto a = ctx.array<std::uint64_t>(a_base, kCount);
+  auto b = ctx.array<std::uint64_t>(b_base, kCount);
+  const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+  const auto me = static_cast<std::size_t>(ctx.node());
+  const std::size_t chunk = kCount / nodes;
+  const std::size_t lo = me * chunk;
+  const std::size_t hi = lo + chunk;
+  for (int iter = 1; iter <= iterations; ++iter) {
+    ctx.iteration_begin();
+    {
+      auto w = a.write_view(lo, hi);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        w[i] = static_cast<std::uint64_t>(iter) * 7 + lo + i;
+      }
+    }
+    ctx.barrier();
+    {
+      const std::size_t peer = (me + 1) % nodes;
+      auto r = a.read_view(peer * chunk, peer * chunk + chunk);
+      auto w = b.write_view(lo, hi);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        ASSERT_EQ(r[i], static_cast<std::uint64_t>(iter) * 7 + peer * chunk + i);
+        w[i] = r[i] * 2;
+      }
+    }
+    ctx.barrier();
+    {
+      // b[k's block] holds a[(k+1)'s block] doubled; we read our left
+      // neighbour's block of b, which mirrors our own block of a.
+      const std::size_t peer = (me + nodes - 1) % nodes;
+      auto r = b.read_view(peer * chunk, peer * chunk + chunk);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        ASSERT_EQ(r[i],
+                  (static_cast<std::uint64_t>(iter) * 7 + me * chunk + i) * 2);
+      }
+    }
+    ctx.barrier();
+  }
+}
+
+class OverdriveTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(OverdriveTest, StablePatternRunsCorrectlyAndEngages) {
+  const ClusterConfig cfg = small_config();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "a");
+  const GlobalAddr b = heap.alloc_page_aligned(kCount * 8, "b");
+
+  auto protocol = protocols::make_protocol(GetParam());
+  auto* bar = dynamic_cast<BarProtocol*>(protocol.get());
+  ASSERT_NE(bar, nullptr);
+  Cluster cluster(cfg, heap, std::move(protocol));
+  cluster.run([&](NodeContext& ctx) { stable_app(ctx, a, b, 10); });
+
+  EXPECT_TRUE(bar->overdrive_active());
+  EXPECT_EQ(bar->overdrive_period(), 3u);  // three barriers per iteration
+  EXPECT_EQ(cluster.runtime().counters().overdrive_mispredictions, 0u);
+}
+
+TEST_P(OverdriveTest, SteadyStateEliminatesTraps) {
+  const ClusterConfig cfg = small_config();
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "a");
+  const GlobalAddr b = heap.alloc_page_aligned(kCount * 8, "b");
+
+  auto protocol = protocols::make_protocol(GetParam());
+  auto* bar = dynamic_cast<BarProtocol*>(protocol.get());
+  Cluster cluster(cfg, heap, std::move(protocol));
+
+  // Snapshot trap counters once overdrive is engaged (after the learning
+  // iterations), then check the deltas over the steady-state tail.
+  std::vector<std::uint64_t> segvs_mark(4, ~0ULL);
+  std::vector<std::uint64_t> mprotects_mark(4, ~0ULL);
+  cluster.run([&](NodeContext& ctx) {
+    auto run_iters = [&](int from, int to) {
+      auto aa = ctx.array<std::uint64_t>(a, kCount);
+      auto bb = ctx.array<std::uint64_t>(b, kCount);
+      const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+      const auto me = static_cast<std::size_t>(ctx.node());
+      const std::size_t chunk = kCount / nodes;
+      for (int iter = from; iter <= to; ++iter) {
+        ctx.iteration_begin();
+        {
+          auto w = aa.write_view(me * chunk, me * chunk + chunk);
+          for (std::size_t i = 0; i < chunk; ++i) w[i] = iter + i;
+        }
+        ctx.barrier();
+        {
+          const std::size_t peer = (me + 1) % nodes;
+          auto r = aa.read_view(peer * chunk, peer * chunk + chunk);
+          auto w = bb.write_view(me * chunk, me * chunk + chunk);
+          for (std::size_t i = 0; i < chunk; ++i) w[i] = r[i] * 3;
+        }
+        ctx.barrier();
+      }
+    };
+    run_iters(1, 4);  // learning + first overdrive iteration
+    // Mark per-node OS counters here (single-threaded inside the gang).
+    const auto& os = cluster.runtime().os(ctx.id()).counters();
+    segvs_mark[static_cast<std::size_t>(ctx.node())] = os.segvs;
+    mprotects_mark[static_cast<std::size_t>(ctx.node())] = os.mprotects;
+    run_iters(5, 10);  // steady state
+  });
+
+  ASSERT_TRUE(bar->overdrive_active());
+  for (int i = 0; i < 4; ++i) {
+    const NodeId n{static_cast<std::uint32_t>(i)};
+    const auto& os = cluster.runtime().os(n).counters();
+    // No write-trapping segvs in steady state for either overdrive mode.
+    EXPECT_EQ(os.segvs, segvs_mark[static_cast<std::size_t>(i)])
+        << "node " << i << " took segvs in overdrive steady state";
+    if (GetParam() == ProtocolKind::BarM) {
+      EXPECT_EQ(os.mprotects, mprotects_mark[static_cast<std::size_t>(i)])
+          << "node " << i << " issued mprotects under bar-m steady state";
+    } else {
+      // bar-s still cycles write protection every epoch.
+      EXPECT_GT(os.mprotects, mprotects_mark[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(OverdriveTest, StrictModeRejectsDivergentPattern) {
+  ClusterConfig cfg = small_config();
+  cfg.overdrive_fallback = OverdriveFallback::Strict;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "a");
+
+  Cluster cluster(cfg, heap, protocols::make_protocol(GetParam()));
+  EXPECT_THROW(
+      cluster.run([&](NodeContext& ctx) {
+        auto arr = ctx.array<std::uint64_t>(a, kCount);
+        const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+        const auto me = static_cast<std::size_t>(ctx.node());
+        const std::size_t chunk = kCount / nodes;
+        for (int iter = 1; iter <= 8; ++iter) {
+          ctx.iteration_begin();
+          auto w = arr.write_view(me * chunk, me * chunk + chunk);
+          for (std::size_t i = 0; i < chunk; ++i) w[i] = iter;
+          // Phase change at iteration 6: write a rotated block. The write
+          // is unpredicted; bar-s traps it, bar-m may trap it only if the
+          // target page was never write-enabled.
+          if (iter >= 6) {
+            const std::size_t other = ((me + 1) % nodes) * chunk;
+            arr.set(other, 99);
+          }
+          ctx.barrier();
+        }
+      }),
+      ProtocolError);
+}
+
+TEST(OverdriveRevertTest, BarSRevertHandlesDivergenceCorrectly) {
+  ClusterConfig cfg = small_config();
+  cfg.overdrive_fallback = OverdriveFallback::Revert;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "a");
+
+  // A separate flag word that no regular iteration ever writes: writing it
+  // during overdrive is guaranteed unpredicted.
+  const GlobalAddr flag = heap.alloc_page_aligned(8, "flag");
+
+  auto protocol = protocols::make_protocol(ProtocolKind::BarS);
+  Cluster cluster(cfg, heap, std::move(protocol));
+  cluster.run([&](NodeContext& ctx) {
+    auto arr = ctx.array<std::uint64_t>(a, kCount);
+    auto flag_word = ctx.array<std::uint64_t>(flag, 1);
+    const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+    const auto me = static_cast<std::size_t>(ctx.node());
+    const std::size_t chunk = kCount / nodes;
+    for (int iter = 1; iter <= 8; ++iter) {
+      ctx.iteration_begin();
+      {
+        auto w = arr.write_view(me * chunk, me * chunk + chunk);
+        for (std::size_t i = 0; i < chunk; ++i) w[i] = iter * 1000 + i;
+      }
+      // Node 0 makes one unpredicted write at iteration 7.
+      if (iter == 7 && me == 0) {
+        flag_word.set(0, 424242);
+      }
+      ctx.barrier();
+      if (iter == 7) {
+        ASSERT_EQ(flag_word.get(0), 424242u) << "node " << me;
+      }
+      ctx.barrier();
+    }
+  });
+  EXPECT_GE(cluster.runtime().counters().overdrive_mispredictions, 1u);
+}
+
+TEST(OverdriveAuditTest, BarMAuditDetectsSilentDivergence) {
+  // bar-m leaves predicted pages writable: an unpredicted write to such a
+  // page is silently missed ("bar-m is not guaranteed to maintain
+  // consistency", §5). The test-only audit must catch it.
+  ClusterConfig cfg = small_config();
+  cfg.overdrive_fallback = OverdriveFallback::Revert;
+  cfg.overdrive_audit = true;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(kCount * 8, "a");
+  const GlobalAddr b = heap.alloc_page_aligned(kCount * 8, "b");
+
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::BarM));
+  EXPECT_THROW(
+      cluster.run([&](NodeContext& ctx) {
+        auto aa = ctx.array<std::uint64_t>(a, kCount);
+        auto bb = ctx.array<std::uint64_t>(b, kCount);
+        const auto nodes = static_cast<std::size_t>(ctx.num_nodes());
+        const auto me = static_cast<std::size_t>(ctx.node());
+        const std::size_t chunk = kCount / nodes;
+        for (int iter = 1; iter <= 8; ++iter) {
+          ctx.iteration_begin();
+          // Epoch 1 writes a[me]; epoch 2 reads a[peer] (so `a` is shared
+          // and stays in normal coherence, not home-private) and writes
+          // b[me].
+          {
+            auto w = aa.write_view(me * chunk, me * chunk + chunk);
+            for (std::size_t i = 0; i < chunk; ++i) w[i] = iter;
+          }
+          ctx.barrier();
+          {
+            const std::size_t peer = (me + 1) % nodes;
+            auto r = aa.read_view(peer * chunk, peer * chunk + chunk);
+            auto w = bb.write_view(me * chunk, me * chunk + chunk);
+            for (std::size_t i = 0; i < chunk; ++i) w[i] = r[i] * 2;
+            // Divergence: at iteration 6, write a[me] again during epoch
+            // 2. The page is writable (predicted for epoch 1), so no trap
+            // fires and the peer never receives the modification; only
+            // the audit can see it.
+            if (iter == 6) {
+              auto wa = aa.write_view(me * chunk, me * chunk + 1);
+              wa[0] = 777;
+            }
+          }
+          ctx.barrier();
+        }
+      }),
+      ProtocolError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverdriveModes, OverdriveTest,
+    ::testing::Values(ProtocolKind::BarS, ProtocolKind::BarM),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return info.param == ProtocolKind::BarS ? "bar_s" : "bar_m";
+    });
+
+}  // namespace
+}  // namespace updsm

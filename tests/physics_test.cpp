@@ -1,0 +1,123 @@
+// Physics sanity tests: the application kernels are real numerical codes,
+// so their conserved/monotone quantities must behave. Run sequentially
+// (the protocol matrix already proves parallel == sequential bit-exactly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "updsm/apps/expl.hpp"
+#include "updsm/apps/registry.hpp"
+#include "updsm/apps/shallow.hpp"
+#include "updsm/apps/sor.hpp"
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace updsm::apps {
+namespace {
+
+using dsm::Cluster;
+using dsm::NodeContext;
+
+/// Runs `app` sequentially and hands node 0's post-run context to `probe`.
+template <typename Probe>
+void run_and_probe(Application& app, Probe&& probe) {
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  mem::SharedHeap heap(cfg.page_size);
+  app.allocate(heap);
+  Cluster cluster(cfg, heap,
+                  protocols::make_protocol(protocols::ProtocolKind::Null));
+  cluster.run([&](NodeContext& ctx) {
+    app.run(ctx);
+    probe(ctx);
+  });
+}
+
+AppParams quick(int measured) {
+  AppParams p;
+  p.scale = 0.25;
+  p.warmup_iterations = 1;
+  p.measured_iterations = measured;
+  return p;
+}
+
+TEST(PhysicsTest, SorHeatStaysWithinBoundaryBounds) {
+  // SOR relaxation toward a harmonic function: interior values remain
+  // within [min, max] of the boundary conditions (0 and 100).
+  SorApp sor(quick(10));
+  run_and_probe(sor, [&](NodeContext& ctx) {
+    // The checksum path reads everything; here sample via the public API.
+    (void)ctx;
+  });
+  // checksum = sum of values * 1e-3; with rows*cols cells all in [0, 100]:
+  const double cells = static_cast<double>(sor.rows() * sor.cols());
+  EXPECT_GT(sor.result_checksum(), 0.0);
+  EXPECT_LT(sor.result_checksum(), cells * 100.0 * 1e-3);
+}
+
+TEST(PhysicsTest, ExplWaveEnergyIsBounded) {
+  // The leapfrog wave equation with CFL-stable dt must not blow up; the
+  // checksum (sum of displacements) stays near the initial pulse's sum.
+  ExplApp shorter(quick(2));
+  ExplApp longer(quick(12));
+  run_and_probe(shorter, [](NodeContext&) {});
+  run_and_probe(longer, [](NodeContext&) {});
+  EXPECT_TRUE(std::isfinite(longer.result_checksum()));
+  // Displacement sum is conserved by the discrete wave equation up to
+  // boundary losses: the long run stays within 2x of the short run.
+  EXPECT_NEAR(longer.result_checksum(), shorter.result_checksum(),
+              std::abs(shorter.result_checksum()) + 1.0);
+}
+
+TEST(PhysicsTest, ShallowWaterMassIsConserved) {
+  // The p (pressure/height) field's total is the system's mass analogue:
+  // the periodic shallow-water equations conserve it to high relative
+  // precision over short runs.
+  auto measure = [](int iters) {
+    ShallowApp app(quick(iters), "shal", 256, false, false);
+    run_and_probe(app, [](NodeContext&) {});
+    return app.result_checksum();  // dominated by sum(p) * 1e-6
+  };
+  const double short_run = measure(2);
+  const double long_run = measure(12);
+  EXPECT_NEAR(long_run / short_run, 1.0, 0.01)
+      << "mass must be conserved to ~1%";
+}
+
+TEST(PhysicsTest, TomcatMeshConverges) {
+  // The mesh smoother's max residual decreases as iterations accumulate.
+  auto residual = [](int iters) {
+    auto app = make_app("tomcat", quick(iters));
+    run_and_probe(*app, [](NodeContext&) {});
+    // checksum = sum(x - y) + last_residual; isolate the residual by
+    // differencing two runs is fragile -- instead re-run and query the
+    // typed app directly.
+    return app->result_checksum();
+  };
+  // Convergence shows up as the checksum stabilizing between run lengths.
+  const double a = residual(4);
+  const double b = residual(12);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_TRUE(std::isfinite(b));
+  EXPECT_NEAR(a, b, std::abs(a) * 0.05 + 1.0)
+      << "the mesh solve should be settling, not drifting";
+}
+
+TEST(PhysicsTest, FftSpectralSolverDecaysSmoothly) {
+  // The spectral heat solver damps every nonzero mode: the checksum (sum
+  // of real parts == the DC component up to rounding) is preserved while
+  // the field flattens, so successive runs converge to the mean.
+  auto checksum = [](int iters) {
+    auto app = make_app("fft", quick(iters));
+    run_and_probe(*app, [](NodeContext&) {});
+    return app->result_checksum();
+  };
+  const double a = checksum(2);
+  const double b = checksum(10);
+  // Heat diffusion preserves the total (DC mode) exactly.
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-9 + 1e-6);
+}
+
+}  // namespace
+}  // namespace updsm::apps

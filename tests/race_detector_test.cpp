@@ -1,0 +1,192 @@
+// Tests for the data-race detector (the §5.2 companion tool): interval
+// algebra, cluster integration, and the suite-wide property that every
+// application in the paper's workload is conflict-free.
+#include <gtest/gtest.h>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/dsm/race_detector.hpp"
+#include "updsm/harness/experiment.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace updsm {
+namespace {
+
+using dsm::Cluster;
+using dsm::ClusterConfig;
+using dsm::NodeContext;
+using dsm::RaceCheck;
+using dsm::RaceDetector;
+using protocols::ProtocolKind;
+
+// --- detector unit tests ------------------------------------------------------
+
+TEST(RaceDetectorUnitTest, DisjointAccessesAreClean) {
+  RaceDetector det(4);
+  det.record(NodeId{0}, 0, 100, /*write=*/true);
+  det.record(NodeId{1}, 100, 100, /*write=*/true);
+  det.record(NodeId{2}, 200, 100, /*write=*/false);
+  EXPECT_TRUE(det.finish_epoch(EpochId{1}).empty());
+}
+
+TEST(RaceDetectorUnitTest, WriteWriteOverlapDetected) {
+  RaceDetector det(2);
+  det.record(NodeId{0}, 0, 64, true);
+  det.record(NodeId{1}, 32, 64, true);
+  const auto reports = det.finish_epoch(EpochId{2});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].write_write);
+  EXPECT_EQ(reports[0].lo, 32u);
+  EXPECT_EQ(reports[0].hi, 64u);
+  EXPECT_EQ(reports[0].epoch, EpochId{2});
+}
+
+TEST(RaceDetectorUnitTest, WriteReadOverlapDetected) {
+  RaceDetector det(2);
+  det.record(NodeId{0}, 128, 64, true);
+  det.record(NodeId{1}, 160, 8, false);
+  const auto reports = det.finish_epoch(EpochId{0});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].write_write);
+  EXPECT_EQ(reports[0].writer, NodeId{0});
+  EXPECT_EQ(reports[0].other, NodeId{1});
+}
+
+TEST(RaceDetectorUnitTest, OwnReadOfOwnWriteIsClean) {
+  RaceDetector det(2);
+  det.record(NodeId{0}, 0, 64, true);
+  det.record(NodeId{0}, 0, 64, false);
+  EXPECT_TRUE(det.finish_epoch(EpochId{0}).empty());
+}
+
+TEST(RaceDetectorUnitTest, EpochBoundaryClearsState) {
+  RaceDetector det(2);
+  det.record(NodeId{0}, 0, 64, true);
+  EXPECT_TRUE(det.finish_epoch(EpochId{0}).empty());
+  det.record(NodeId{1}, 0, 64, false);  // previous epoch's write is gone
+  EXPECT_TRUE(det.finish_epoch(EpochId{1}).empty());
+}
+
+TEST(RaceDetectorUnitTest, AdjacentRangesCoalesceWithoutFalsePositives) {
+  RaceDetector det(2);
+  // Row-by-row forward writes (the view pattern) by node 0...
+  for (int r = 0; r < 10; ++r) det.record(NodeId{0}, r * 64, 64, true);
+  // ...and node 1 right after them.
+  for (int r = 10; r < 20; ++r) det.record(NodeId{1}, r * 64, 64, true);
+  EXPECT_TRUE(det.finish_epoch(EpochId{0}).empty());
+}
+
+// --- cluster integration -------------------------------------------------------
+
+TEST(RaceDetectorClusterTest, ThrowsOnDeliberateWriteWriteRace) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.page_size = 1024;
+  cfg.race_check = RaceCheck::Throw;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(64 * 8, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  EXPECT_THROW(cluster.run([&](NodeContext& ctx) {
+                 auto x = ctx.array<std::uint64_t>(a, 64);
+                 x.set(5, ctx.node());  // both nodes write element 5
+                 ctx.barrier();
+               }),
+               ProtocolError);
+}
+
+TEST(RaceDetectorClusterTest, WarnModeCollectsReportsAndContinues) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.page_size = 1024;
+  cfg.race_check = RaceCheck::Warn;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(64 * 8, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<std::uint64_t>(a, 64);
+    if (ctx.node() == 0) x.set(7, 1);
+    ctx.barrier();
+    // Anti-dependence: node 0 rewrites while node 1 reads, same epoch.
+    if (ctx.node() == 0) {
+      x.set(7, 2);
+    } else {
+      (void)x.get(7);
+    }
+    ctx.barrier();
+  });
+  ASSERT_FALSE(cluster.race_reports().empty());
+  EXPECT_FALSE(cluster.race_reports()[0].write_write);
+  EXPECT_FALSE(cluster.race_reports()[0].describe().empty());
+}
+
+TEST(RaceDetectorClusterTest, FalseSharingIsNotARace) {
+  // Distinct elements of one page: the very case multi-writer protocols
+  // exist for must NOT be flagged.
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.page_size = 1024;
+  cfg.race_check = RaceCheck::Throw;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(128 * 8, "x");
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  cluster.run([&](NodeContext& ctx) {
+    auto x = ctx.array<std::uint64_t>(a, 128);
+    for (std::size_t i = static_cast<std::size_t>(ctx.node()); i < 128;
+         i += 4) {
+      x.set(i, i);
+    }
+    ctx.barrier();
+    for (std::size_t i = 0; i < 128; ++i) EXPECT_EQ(x.get(i), i);
+    ctx.barrier();
+  });
+}
+
+// --- the suite-wide property ----------------------------------------------------
+
+class AppsAreRaceFreeTest : public ::testing::TestWithParam<std::string_view> {
+};
+
+TEST_P(AppsAreRaceFreeTest, NoWriteWriteConflictsUnderTheDetector) {
+  apps::AppParams params;
+  params.scale = 0.25;
+  params.warmup_iterations = 4;
+  params.measured_iterations = 2;
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.race_check = RaceCheck::Warn;
+
+  auto app = apps::make_app(GetParam(), params);
+  mem::SharedHeap heap(cfg.page_size);
+  app->allocate(heap);
+  Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::BarU));
+  cluster.run([&](NodeContext& ctx) { app->run(ctx); });
+
+  // No application may contain a write/write conflict -- concurrent diffs
+  // would overlap and the merge order would matter.
+  for (const auto& report : cluster.race_reports()) {
+    EXPECT_FALSE(report.write_write)
+        << GetParam() << ": " << report.describe();
+  }
+  // sor's in-place red-black sweep reads neighbour rows that its peer is
+  // concurrently writing: element-disjoint (true red-black), so correct,
+  // but an intra-epoch anti-dependence at view granularity -- exactly the
+  // LRC-tolerated pattern of paper §2.1. Every other app is fully clean.
+  if (GetParam() != "sor") {
+    EXPECT_TRUE(cluster.race_reports().empty())
+        << GetParam() << ": "
+        << cluster.race_reports().front().describe();
+  } else {
+    EXPECT_FALSE(cluster.race_reports().empty())
+        << "sor's red-black anti-dependence should be visible to the "
+           "detector";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppsAreRaceFreeTest,
+                         ::testing::ValuesIn(apps::app_names()),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace updsm

@@ -1,0 +1,202 @@
+// Golden protocol-trace tests.
+//
+// With ClusterConfig::trace on, a run records every externally visible
+// protocol event in order (see dsm/trace.hpp). Runs are bit-deterministic,
+// so these traces are complete behavioural fingerprints: the scenarios
+// below pin the exact event sequences of lmw-i and bar-i on a two-node
+// producer/consumer program. If a protocol change alters the sequence the
+// diff is human-readable -- update the golden only for *intended* changes.
+//
+// The scenario (3 iterations, 2 pages):
+//   epoch A: node 0 writes both pages; barrier;
+//   epoch B: node 1 reads one element of each page; barrier.
+//
+// What to look for in the pinned traces:
+//   * bar-i: the loop-entry invalidation of cold replicas, whole-page
+//     fetches (1056-byte replies), the migration of page 1 from its
+//     initial home (node 1) to its writer at barrier 2, and the home
+//     effect (no diffs for node 0's writes after migration).
+//   * lmw-i: the twin/diff write-trap cycle, notices invalidating node 1,
+//     and diff fetches (24-byte requests, full-page diff replies after
+//     squashing) with the apply-time protection dance.
+#include <gtest/gtest.h>
+
+#include "updsm/dsm/cluster.hpp"
+#include "updsm/dsm/node_context.hpp"
+#include "updsm/protocols/factory.hpp"
+
+namespace updsm {
+namespace {
+
+std::vector<std::string> run_traced(protocols::ProtocolKind kind) {
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.page_size = 1024;
+  cfg.trace = true;
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(256 * 8, "x");  // 2 pages
+  dsm::Cluster cluster(cfg, heap, protocols::make_protocol(kind));
+  cluster.run([&](dsm::NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 256);
+    for (int iter = 1; iter <= 3; ++iter) {
+      ctx.iteration_begin();
+      if (ctx.node() == 0) {
+        auto w = x.write_view(0, 256);
+        for (std::size_t i = 0; i < 256; ++i) w[i] = iter * 100.0 + i;
+      }
+      ctx.barrier();
+      if (ctx.node() == 1) {
+        (void)x.get(0);
+        (void)x.get(200);
+      }
+      ctx.barrier();
+    }
+  });
+  return cluster.runtime().trace()->lines();
+}
+
+TEST(TraceGoldenTest, BarIProducerConsumer) {
+  const std::vector<std::string> expected{
+      "mprot n1 p0 none",
+      "mprot n0 p1 none",
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "req n0>n1 16B 1056B",
+      "mprot n0 p1 r",
+      "mprot n0 p1 rw",
+      "mprot n0 p1 r",
+      "flush n0>n1 1032B",
+      "mprot n1 p1 rw",
+      "mprot n1 p1 r",
+      "barrier 0",
+      "fault r n1 p0",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p0 r",
+      "mprot n0 p0 r",
+      "mprot n1 p0 none",
+      "barrier 1",
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "mprot n0 p1 rw",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "flush n0>n1 1032B",
+      "mprot n1 p1 rw",
+      "mprot n1 p1 r",
+      "req n0>n1 16B 1056B",
+      "mprot n0 p1 r",
+      "mprot n1 p1 none",
+      "barrier 2",
+      "fault r n1 p0",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p0 r",
+      "fault r n1 p1",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p1 r",
+      "barrier 3",
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "mprot n0 p1 rw",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "mprot n1 p0 none",
+      "mprot n1 p1 none",
+      "barrier 4",
+      "fault r n1 p0",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p0 r",
+      "fault r n1 p1",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p1 r",
+      "barrier 5",
+  };
+  EXPECT_EQ(run_traced(protocols::ProtocolKind::BarI), expected);
+}
+
+TEST(TraceGoldenTest, LmwIProducerConsumer) {
+  const std::vector<std::string> expected{
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "mprot n0 p1 rw",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "mprot n0 p0 rw",
+      "mprot n0 p1 rw",
+      "mprot n1 p0 none",
+      "mprot n1 p1 none",
+      "barrier 0",
+      "fault r n1 p0",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p0 r",
+      "fault r n1 p1",
+      "req n1>n0 16B 1056B",
+      "mprot n1 p1 r",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "barrier 1",
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "mprot n0 p1 rw",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "mprot n1 p0 none",
+      "mprot n1 p1 none",
+      "barrier 2",
+      "fault r n1 p0",
+      "req n1>n0 24B 1040B",
+      "mprot n1 p0 rw",
+      "mprot n1 p0 r",
+      "fault r n1 p1",
+      "req n1>n0 24B 1040B",
+      "mprot n1 p1 rw",
+      "mprot n1 p1 r",
+      "barrier 3",
+      "fault w n0 p0",
+      "mprot n0 p0 rw",
+      "fault w n0 p1",
+      "mprot n0 p1 rw",
+      "mprot n0 p0 r",
+      "mprot n0 p1 r",
+      "mprot n1 p0 none",
+      "mprot n1 p1 none",
+      "barrier 4",
+      "fault r n1 p0",
+      "req n1>n0 24B 1040B",
+      "mprot n1 p0 rw",
+      "mprot n1 p0 r",
+      "fault r n1 p1",
+      "req n1>n0 24B 1040B",
+      "mprot n1 p1 rw",
+      "mprot n1 p1 r",
+      "barrier 5",
+  };
+  EXPECT_EQ(run_traced(protocols::ProtocolKind::LmwI), expected);
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  mem::SharedHeap heap(cfg.page_size);
+  heap.alloc_page_aligned(64, "x");
+  dsm::Cluster cluster(cfg, heap,
+                       protocols::make_protocol(protocols::ProtocolKind::Null));
+  EXPECT_EQ(cluster.runtime().trace(), nullptr);
+}
+
+TEST(TraceTest, StrJoinsLines) {
+  dsm::TraceLog log;
+  log.emit("a");
+  log.emit("b c");
+  EXPECT_EQ(log.str(), "a\nb c\n");
+  EXPECT_EQ(log.size(), 2u);
+  log.clear();
+  EXPECT_TRUE(log.lines().empty());
+}
+
+}  // namespace
+}  // namespace updsm

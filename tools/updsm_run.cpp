@@ -1,0 +1,273 @@
+// updsm_run: command-line experiment explorer.
+//
+// Runs any (application, protocol) combination on any cluster
+// configuration and prints the full report: speedup against the
+// nulled-sync sequential baseline, Table-1 counters, the Figure-3 time
+// breakdown, per-node details and the shared-segment layout. `--csv`
+// emits one machine-readable line per run for scripting sweeps.
+//
+//   updsm_run --app=sor --protocol=bar-u
+//   updsm_run --app=swm --protocol=all --nodes=16 --scale=0.5
+//   updsm_run --app=fft --protocol=bar-m --breakdown --layout
+//   updsm_run --app=jacobi --protocol=all --csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "updsm/harness/experiment.hpp"
+#include "updsm/harness/report.hpp"
+#include "updsm/mem/shared_heap.hpp"
+
+namespace {
+
+using namespace updsm;
+
+struct Options {
+  std::string app = "sor";
+  std::string protocol = "bar-u";
+  int nodes = 8;
+  double scale = 1.0;
+  int warmup = 5;
+  int iters = 10;
+  std::uint32_t page_size = 8192;
+  double drop_rate = 0.0;
+  bool migration = true;
+  bool breakdown = false;
+  bool layout = false;
+  int hot_pages = 0;
+  bool per_node = false;
+  bool csv = false;
+  std::uint64_t seed = 0x1998'0330;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "updsm_run -- run one paper workload under one coherence protocol\n"
+      "\n"
+      "  --app=NAME        barnes|expl|fft|jacobi|shal|sor|swm|tomcat\n"
+      "  --protocol=NAME   lmw-i|lmw-u|bar-i|bar-u|bar-s|bar-m|sc-sw|all\n"
+      "  --nodes=N         cluster size (default 8)\n"
+      "  --scale=F         linear problem-size factor (default 1.0)\n"
+      "  --warmup=N        unmeasured time-steps (default 5)\n"
+      "  --iters=N         measured time-steps (default 10)\n"
+      "  --page-size=B     protection granularity (default 8192)\n"
+      "  --drop-rate=F     fraction of update flushes dropped (default 0)\n"
+      "  --no-migration    disable runtime home migration\n"
+      "  --seed=N          RNG seed\n"
+      "  --breakdown       print the Figure-3 style time breakdown\n"
+      "  --hot-pages=N     print the N busiest pages with their owners\n"
+      "  --per-node        print per-node times\n"
+      "  --layout          print the shared-segment layout\n"
+      "  --csv             one CSV line per run (with header)\n");
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--app=")) {
+      opt.app = v;
+    } else if (const char* v = value("--protocol=")) {
+      opt.protocol = v;
+    } else if (const char* v = value("--nodes=")) {
+      opt.nodes = std::atoi(v);
+    } else if (const char* v = value("--scale=")) {
+      opt.scale = std::atof(v);
+    } else if (const char* v = value("--warmup=")) {
+      opt.warmup = std::atoi(v);
+    } else if (const char* v = value("--iters=")) {
+      opt.iters = std::atoi(v);
+    } else if (const char* v = value("--page-size=")) {
+      opt.page_size = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--drop-rate=")) {
+      opt.drop_rate = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--no-migration") {
+      opt.migration = false;
+    } else if (const char* v = value("--hot-pages=")) {
+      opt.hot_pages = std::atoi(v);
+    } else if (arg == "--breakdown") {
+      opt.breakdown = true;
+    } else if (arg == "--per-node") {
+      opt.per_node = true;
+    } else if (arg == "--layout") {
+      opt.layout = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+dsm::ClusterConfig cluster_config(const Options& opt) {
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = opt.nodes;
+  cfg.page_size = opt.page_size;
+  cfg.seed = opt.seed;
+  cfg.home_migration = opt.migration;
+  cfg.costs.net.flush_drop_rate = opt.drop_rate;
+  return cfg;
+}
+
+apps::AppParams app_params(const Options& opt) {
+  apps::AppParams p;
+  p.scale = opt.scale;
+  p.warmup_iterations = opt.warmup;
+  p.measured_iterations = opt.iters;
+  p.seed = opt.seed;
+  return p;
+}
+
+void print_run(const Options& opt, const harness::RunResult& run,
+               const harness::RunResult& seq) {
+  if (opt.csv) {
+    static bool header_printed = false;
+    if (!header_printed) {
+      header_printed = true;
+      std::printf(
+          "app,protocol,nodes,scale,elapsed_ms,seq_ms,speedup,diffs,misses,"
+          "messages,data_kb,updates_sent,migrations,correct\n");
+    }
+    std::printf("%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+                run.app.c_str(), run.protocol.c_str(), run.nodes, opt.scale,
+                sim::to_msec(run.elapsed), sim::to_msec(seq.elapsed),
+                harness::speedup(run, seq),
+                static_cast<unsigned long long>(run.counters.diffs_created),
+                static_cast<unsigned long long>(run.counters.remote_misses),
+                static_cast<unsigned long long>(run.net.table_messages()),
+                static_cast<unsigned long long>(run.net.total_bytes() / 1024),
+                static_cast<unsigned long long>(run.counters.updates_sent),
+                static_cast<unsigned long long>(run.counters.migrations),
+                run.checksum == seq.checksum ? 1 : 0);
+    return;
+  }
+
+  std::printf("%s under %s: %d nodes, scale %.2f, %d measured iterations\n",
+              run.app.c_str(), run.protocol.c_str(), run.nodes, opt.scale,
+              opt.iters);
+  std::printf("  result        %s (checksum %.17g)\n",
+              run.checksum == seq.checksum ? "bit-exact vs sequential"
+                                           : "*** DIVERGED ***",
+              run.checksum);
+  std::printf("  time          %.2f ms (sequential %.2f ms) -> speedup %.2f\n",
+              sim::to_msec(run.elapsed), sim::to_msec(seq.elapsed),
+              harness::speedup(run, seq));
+  std::printf("  diffs         %llu (+%llu empty)\n",
+              static_cast<unsigned long long>(run.counters.diffs_created),
+              static_cast<unsigned long long>(run.counters.zero_diffs));
+  std::printf("  remote misses %llu\n",
+              static_cast<unsigned long long>(run.counters.remote_misses));
+  std::printf("  messages      %llu (%llu kB)\n",
+              static_cast<unsigned long long>(run.net.table_messages()),
+              static_cast<unsigned long long>(run.net.total_bytes() / 1024));
+  std::printf("  updates       %llu sent, %llu applied, %llu ignored\n",
+              static_cast<unsigned long long>(run.counters.updates_sent),
+              static_cast<unsigned long long>(run.counters.updates_applied),
+              static_cast<unsigned long long>(run.counters.updates_ignored));
+  std::printf("  homes         %llu migrated; private pages %llu in / %llu "
+              "out\n",
+              static_cast<unsigned long long>(run.counters.migrations),
+              static_cast<unsigned long long>(run.counters.private_entries),
+              static_cast<unsigned long long>(run.counters.private_exits));
+
+  if (opt.breakdown) {
+    const auto sum = run.breakdown.summed();
+    const double total = static_cast<double>(sum.total());
+    std::printf("  breakdown     app %.1f%%  dsm %.1f%%  os %.1f%%  wait "
+                "%.1f%%  sigio %.1f%%\n",
+                100.0 * sum.app / total, 100.0 * sum.dsm / total,
+                100.0 * sum.os / total, 100.0 * sum.wait / total,
+                100.0 * sum.sigio / total);
+  }
+  if (opt.hot_pages > 0) {
+    const auto hot =
+        harness::hottest_pages(run, static_cast<std::size_t>(opt.hot_pages));
+    std::printf("  hottest pages (whole run, all nodes):\n");
+    for (const auto& page : hot) {
+      std::printf("    page %-6u %-16s %6u rd-faults %6u wr-faults %6u "
+                  "mprotects\n",
+                  page.page.value(), page.allocation.c_str(),
+                  page.stats.read_faults, page.stats.write_faults,
+                  page.stats.mprotects);
+    }
+  }
+  if (opt.per_node) {
+    for (std::size_t i = 0; i < run.breakdown.nodes.size(); ++i) {
+      const auto& node = run.breakdown.nodes[i];
+      std::printf("    node %-2zu     app %8.1f  dsm %7.1f  os %7.1f  wait "
+                  "%7.1f  sigio %6.1f ms\n",
+                  i, sim::to_msec(node.app), sim::to_msec(node.dsm),
+                  sim::to_msec(node.os), sim::to_msec(node.wait),
+                  sim::to_msec(node.sigio));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    std::vector<protocols::ProtocolKind> kinds;
+    if (opt.protocol == "all") {
+      kinds = protocols::all_paper_protocols();
+    } else {
+      kinds.push_back(protocols::protocol_from_string(opt.protocol));
+    }
+
+    if (opt.layout) {
+      auto app = apps::make_app(opt.app, app_params(opt));
+      mem::SharedHeap heap(opt.page_size);
+      app->allocate(heap);
+      std::printf("shared segment for %s: %llu kB in %u pages\n",
+                  opt.app.c_str(),
+                  static_cast<unsigned long long>(heap.bytes_used() / 1024),
+                  heap.segment_pages());
+      for (const auto& alloc : heap.allocations()) {
+        std::printf("  %-16s @ %10llu  %10llu bytes\n", alloc.name.c_str(),
+                    static_cast<unsigned long long>(alloc.addr),
+                    static_cast<unsigned long long>(alloc.bytes));
+      }
+      std::printf("\n");
+    }
+
+    const auto seq =
+        harness::run_sequential(opt.app, cluster_config(opt), app_params(opt));
+    bool overdrive_safe = true;
+    {
+      auto probe = apps::make_app(opt.app, app_params(opt));
+      overdrive_safe = probe->overdrive_safe();
+    }
+    for (const auto kind : kinds) {
+      if (!overdrive_safe && (kind == protocols::ProtocolKind::BarS ||
+                              kind == protocols::ProtocolKind::BarM)) {
+        std::fprintf(stderr,
+                     "skipping %s: %s has a dynamic sharing pattern\n",
+                     protocols::to_string(kind), opt.app.c_str());
+        continue;
+      }
+      const auto run =
+          harness::run_app(opt.app, kind, cluster_config(opt), app_params(opt));
+      print_run(opt, run, seq);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
