@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nodes.dir/bench/ablation_nodes.cpp.o"
+  "CMakeFiles/ablation_nodes.dir/bench/ablation_nodes.cpp.o.d"
+  "bench/ablation_nodes"
+  "bench/ablation_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

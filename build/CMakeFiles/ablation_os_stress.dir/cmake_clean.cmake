@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_os_stress.dir/bench/ablation_os_stress.cpp.o"
+  "CMakeFiles/ablation_os_stress.dir/bench/ablation_os_stress.cpp.o.d"
+  "bench/ablation_os_stress"
+  "bench/ablation_os_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_os_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

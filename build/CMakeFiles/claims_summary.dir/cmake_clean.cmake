@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_summary.dir/bench/claims_summary.cpp.o"
+  "CMakeFiles/claims_summary.dir/bench/claims_summary.cpp.o.d"
+  "bench/claims_summary"
+  "bench/claims_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

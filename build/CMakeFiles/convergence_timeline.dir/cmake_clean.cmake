@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_timeline.dir/bench/convergence_timeline.cpp.o"
+  "CMakeFiles/convergence_timeline.dir/bench/convergence_timeline.cpp.o.d"
+  "bench/convergence_timeline"
+  "bench/convergence_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_speedups.dir/bench/fig2_speedups.cpp.o"
+  "CMakeFiles/fig2_speedups.dir/bench/fig2_speedups.cpp.o.d"
+  "bench/fig2_speedups"
+  "bench/fig2_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

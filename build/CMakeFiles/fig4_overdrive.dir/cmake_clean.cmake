@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overdrive.dir/bench/fig4_overdrive.cpp.o"
+  "CMakeFiles/fig4_overdrive.dir/bench/fig4_overdrive.cpp.o.d"
+  "bench/fig4_overdrive"
+  "bench/fig4_overdrive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overdrive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_matrix.dir/bench/sweep_matrix.cpp.o"
+  "CMakeFiles/sweep_matrix.dir/bench/sweep_matrix.cpp.o.d"
+  "bench/sweep_matrix"
+  "bench/sweep_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

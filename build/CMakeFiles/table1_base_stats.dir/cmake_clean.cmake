@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_base_stats.dir/bench/table1_base_stats.cpp.o"
+  "CMakeFiles/table1_base_stats.dir/bench/table1_base_stats.cpp.o.d"
+  "bench/table1_base_stats"
+  "bench/table1_base_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_base_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overdrive_tour.dir/overdrive_tour.cpp.o"
+  "CMakeFiles/overdrive_tour.dir/overdrive_tour.cpp.o.d"
+  "overdrive_tour"
+  "overdrive_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overdrive_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

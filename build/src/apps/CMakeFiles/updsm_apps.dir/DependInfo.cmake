@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/src/application.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/application.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/application.cpp.o.d"
+  "/root/repo/src/apps/src/barnes.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/barnes.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/barnes.cpp.o.d"
+  "/root/repo/src/apps/src/expl.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/expl.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/expl.cpp.o.d"
+  "/root/repo/src/apps/src/fft.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/fft.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/fft.cpp.o.d"
+  "/root/repo/src/apps/src/jacobi.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/jacobi.cpp.o.d"
+  "/root/repo/src/apps/src/registry.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/registry.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/registry.cpp.o.d"
+  "/root/repo/src/apps/src/shallow.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/shallow.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/shallow.cpp.o.d"
+  "/root/repo/src/apps/src/sor.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/sor.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/sor.cpp.o.d"
+  "/root/repo/src/apps/src/tomcatv.cpp" "src/apps/CMakeFiles/updsm_apps.dir/src/tomcatv.cpp.o" "gcc" "src/apps/CMakeFiles/updsm_apps.dir/src/tomcatv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/updsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/updsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/updsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/updsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_apps.dir/src/application.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/application.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/barnes.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/barnes.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/expl.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/expl.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/fft.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/fft.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/jacobi.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/jacobi.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/registry.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/registry.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/shallow.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/shallow.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/sor.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/sor.cpp.o.d"
+  "CMakeFiles/updsm_apps.dir/src/tomcatv.cpp.o"
+  "CMakeFiles/updsm_apps.dir/src/tomcatv.cpp.o.d"
+  "libupdsm_apps.a"
+  "libupdsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_common.dir/src/log.cpp.o"
+  "CMakeFiles/updsm_common.dir/src/log.cpp.o.d"
+  "libupdsm_common.a"
+  "libupdsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

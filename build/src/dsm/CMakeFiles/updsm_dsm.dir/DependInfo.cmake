@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/src/cluster.cpp" "src/dsm/CMakeFiles/updsm_dsm.dir/src/cluster.cpp.o" "gcc" "src/dsm/CMakeFiles/updsm_dsm.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/dsm/src/diff_store.cpp" "src/dsm/CMakeFiles/updsm_dsm.dir/src/diff_store.cpp.o" "gcc" "src/dsm/CMakeFiles/updsm_dsm.dir/src/diff_store.cpp.o.d"
+  "/root/repo/src/dsm/src/race_detector.cpp" "src/dsm/CMakeFiles/updsm_dsm.dir/src/race_detector.cpp.o" "gcc" "src/dsm/CMakeFiles/updsm_dsm.dir/src/race_detector.cpp.o.d"
+  "/root/repo/src/dsm/src/runtime.cpp" "src/dsm/CMakeFiles/updsm_dsm.dir/src/runtime.cpp.o" "gcc" "src/dsm/CMakeFiles/updsm_dsm.dir/src/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/updsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/updsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/updsm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

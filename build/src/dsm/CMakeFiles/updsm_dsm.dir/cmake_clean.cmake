@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_dsm.dir/src/cluster.cpp.o"
+  "CMakeFiles/updsm_dsm.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/updsm_dsm.dir/src/diff_store.cpp.o"
+  "CMakeFiles/updsm_dsm.dir/src/diff_store.cpp.o.d"
+  "CMakeFiles/updsm_dsm.dir/src/race_detector.cpp.o"
+  "CMakeFiles/updsm_dsm.dir/src/race_detector.cpp.o.d"
+  "CMakeFiles/updsm_dsm.dir/src/runtime.cpp.o"
+  "CMakeFiles/updsm_dsm.dir/src/runtime.cpp.o.d"
+  "libupdsm_dsm.a"
+  "libupdsm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/src/assurance.cpp" "src/harness/CMakeFiles/updsm_harness.dir/src/assurance.cpp.o" "gcc" "src/harness/CMakeFiles/updsm_harness.dir/src/assurance.cpp.o.d"
+  "/root/repo/src/harness/src/experiment.cpp" "src/harness/CMakeFiles/updsm_harness.dir/src/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/updsm_harness.dir/src/experiment.cpp.o.d"
+  "/root/repo/src/harness/src/report.cpp" "src/harness/CMakeFiles/updsm_harness.dir/src/report.cpp.o" "gcc" "src/harness/CMakeFiles/updsm_harness.dir/src/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/updsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/updsm_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/updsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/updsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/updsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/updsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

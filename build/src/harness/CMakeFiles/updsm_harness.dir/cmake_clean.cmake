@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_harness.dir/src/assurance.cpp.o"
+  "CMakeFiles/updsm_harness.dir/src/assurance.cpp.o.d"
+  "CMakeFiles/updsm_harness.dir/src/experiment.cpp.o"
+  "CMakeFiles/updsm_harness.dir/src/experiment.cpp.o.d"
+  "CMakeFiles/updsm_harness.dir/src/report.cpp.o"
+  "CMakeFiles/updsm_harness.dir/src/report.cpp.o.d"
+  "libupdsm_harness.a"
+  "libupdsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/src/diff.cpp" "src/mem/CMakeFiles/updsm_mem.dir/src/diff.cpp.o" "gcc" "src/mem/CMakeFiles/updsm_mem.dir/src/diff.cpp.o.d"
+  "/root/repo/src/mem/src/page_table.cpp" "src/mem/CMakeFiles/updsm_mem.dir/src/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/updsm_mem.dir/src/page_table.cpp.o.d"
+  "/root/repo/src/mem/src/shared_heap.cpp" "src/mem/CMakeFiles/updsm_mem.dir/src/shared_heap.cpp.o" "gcc" "src/mem/CMakeFiles/updsm_mem.dir/src/shared_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/updsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_mem.dir/src/diff.cpp.o"
+  "CMakeFiles/updsm_mem.dir/src/diff.cpp.o.d"
+  "CMakeFiles/updsm_mem.dir/src/page_table.cpp.o"
+  "CMakeFiles/updsm_mem.dir/src/page_table.cpp.o.d"
+  "CMakeFiles/updsm_mem.dir/src/shared_heap.cpp.o"
+  "CMakeFiles/updsm_mem.dir/src/shared_heap.cpp.o.d"
+  "libupdsm_mem.a"
+  "libupdsm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_protocols.dir/src/bar.cpp.o"
+  "CMakeFiles/updsm_protocols.dir/src/bar.cpp.o.d"
+  "CMakeFiles/updsm_protocols.dir/src/factory.cpp.o"
+  "CMakeFiles/updsm_protocols.dir/src/factory.cpp.o.d"
+  "CMakeFiles/updsm_protocols.dir/src/lmw.cpp.o"
+  "CMakeFiles/updsm_protocols.dir/src/lmw.cpp.o.d"
+  "CMakeFiles/updsm_protocols.dir/src/sc_sw.cpp.o"
+  "CMakeFiles/updsm_protocols.dir/src/sc_sw.cpp.o.d"
+  "libupdsm_protocols.a"
+  "libupdsm_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

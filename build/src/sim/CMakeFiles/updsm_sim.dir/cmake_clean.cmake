@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_sim.dir/src/gang.cpp.o"
+  "CMakeFiles/updsm_sim.dir/src/gang.cpp.o.d"
+  "CMakeFiles/updsm_sim.dir/src/network.cpp.o"
+  "CMakeFiles/updsm_sim.dir/src/network.cpp.o.d"
+  "CMakeFiles/updsm_sim.dir/src/os_model.cpp.o"
+  "CMakeFiles/updsm_sim.dir/src/os_model.cpp.o.d"
+  "libupdsm_sim.a"
+  "libupdsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_app_validation_test.dir/app_validation_test.cpp.o"
+  "CMakeFiles/updsm_app_validation_test.dir/app_validation_test.cpp.o.d"
+  "updsm_app_validation_test"
+  "updsm_app_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_app_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

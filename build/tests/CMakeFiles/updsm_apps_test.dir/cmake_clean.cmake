@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_apps_test.dir/apps_test.cpp.o"
+  "CMakeFiles/updsm_apps_test.dir/apps_test.cpp.o.d"
+  "updsm_apps_test"
+  "updsm_apps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_assurance_test.dir/assurance_test.cpp.o"
+  "CMakeFiles/updsm_assurance_test.dir/assurance_test.cpp.o.d"
+  "updsm_assurance_test"
+  "updsm_assurance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_assurance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

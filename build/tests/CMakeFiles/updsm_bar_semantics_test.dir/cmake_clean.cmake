@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_bar_semantics_test.dir/bar_semantics_test.cpp.o"
+  "CMakeFiles/updsm_bar_semantics_test.dir/bar_semantics_test.cpp.o.d"
+  "updsm_bar_semantics_test"
+  "updsm_bar_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_bar_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_barnes_test.dir/barnes_test.cpp.o"
+  "CMakeFiles/updsm_barnes_test.dir/barnes_test.cpp.o.d"
+  "updsm_barnes_test"
+  "updsm_barnes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_barnes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_cluster_test.dir/cluster_test.cpp.o"
+  "CMakeFiles/updsm_cluster_test.dir/cluster_test.cpp.o.d"
+  "updsm_cluster_test"
+  "updsm_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_common_test.dir/common_test.cpp.o"
+  "CMakeFiles/updsm_common_test.dir/common_test.cpp.o.d"
+  "updsm_common_test"
+  "updsm_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

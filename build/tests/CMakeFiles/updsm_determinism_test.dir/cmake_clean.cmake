@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_determinism_test.dir/determinism_test.cpp.o"
+  "CMakeFiles/updsm_determinism_test.dir/determinism_test.cpp.o.d"
+  "updsm_determinism_test"
+  "updsm_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

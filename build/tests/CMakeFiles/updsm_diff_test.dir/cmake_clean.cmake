@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_diff_test.dir/diff_test.cpp.o"
+  "CMakeFiles/updsm_diff_test.dir/diff_test.cpp.o.d"
+  "updsm_diff_test"
+  "updsm_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_fft_math_test.dir/fft_math_test.cpp.o"
+  "CMakeFiles/updsm_fft_math_test.dir/fft_math_test.cpp.o.d"
+  "updsm_fft_math_test"
+  "updsm_fft_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_fft_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

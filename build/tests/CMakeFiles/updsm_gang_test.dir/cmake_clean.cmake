@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_gang_test.dir/gang_test.cpp.o"
+  "CMakeFiles/updsm_gang_test.dir/gang_test.cpp.o.d"
+  "updsm_gang_test"
+  "updsm_gang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_gang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

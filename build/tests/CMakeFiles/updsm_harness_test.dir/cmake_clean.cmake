@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_harness_test.dir/harness_test.cpp.o"
+  "CMakeFiles/updsm_harness_test.dir/harness_test.cpp.o.d"
+  "updsm_harness_test"
+  "updsm_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

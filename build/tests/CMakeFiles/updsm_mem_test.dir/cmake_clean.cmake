@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_mem_test.dir/mem_test.cpp.o"
+  "CMakeFiles/updsm_mem_test.dir/mem_test.cpp.o.d"
+  "updsm_mem_test"
+  "updsm_mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_node_context_test.dir/node_context_test.cpp.o"
+  "CMakeFiles/updsm_node_context_test.dir/node_context_test.cpp.o.d"
+  "updsm_node_context_test"
+  "updsm_node_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_node_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overdrive_test.cpp" "tests/CMakeFiles/updsm_overdrive_test.dir/overdrive_test.cpp.o" "gcc" "tests/CMakeFiles/updsm_overdrive_test.dir/overdrive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/updsm_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/updsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/updsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/updsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/updsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_overdrive_test.dir/overdrive_test.cpp.o"
+  "CMakeFiles/updsm_overdrive_test.dir/overdrive_test.cpp.o.d"
+  "updsm_overdrive_test"
+  "updsm_overdrive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_overdrive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_physics_test.dir/physics_test.cpp.o"
+  "CMakeFiles/updsm_physics_test.dir/physics_test.cpp.o.d"
+  "updsm_physics_test"
+  "updsm_physics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_protocol_basic_test.dir/protocol_basic_test.cpp.o"
+  "CMakeFiles/updsm_protocol_basic_test.dir/protocol_basic_test.cpp.o.d"
+  "updsm_protocol_basic_test"
+  "updsm_protocol_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_protocol_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

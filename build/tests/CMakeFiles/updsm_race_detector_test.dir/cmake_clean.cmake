@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_race_detector_test.dir/race_detector_test.cpp.o"
+  "CMakeFiles/updsm_race_detector_test.dir/race_detector_test.cpp.o.d"
+  "updsm_race_detector_test"
+  "updsm_race_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_race_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_runtime_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/updsm_runtime_test.dir/runtime_test.cpp.o.d"
+  "updsm_runtime_test"
+  "updsm_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_sim_test.dir/sim_test.cpp.o"
+  "CMakeFiles/updsm_sim_test.dir/sim_test.cpp.o.d"
+  "updsm_sim_test"
+  "updsm_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

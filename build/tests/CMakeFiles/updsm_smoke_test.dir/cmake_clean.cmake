@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_smoke_test.dir/smoke_test.cpp.o"
+  "CMakeFiles/updsm_smoke_test.dir/smoke_test.cpp.o.d"
+  "updsm_smoke_test"
+  "updsm_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

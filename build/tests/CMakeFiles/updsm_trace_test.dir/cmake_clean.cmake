@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/updsm_trace_test.dir/trace_test.cpp.o.d"
+  "updsm_trace_test"
+  "updsm_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updsm_run.dir/updsm_run.cpp.o"
+  "CMakeFiles/updsm_run.dir/updsm_run.cpp.o.d"
+  "updsm_run"
+  "updsm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updsm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
