@@ -4,15 +4,18 @@
 // same runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "updsm/harness/experiment.hpp"
+#include "updsm/harness/parallel_grid.hpp"
 #include "updsm/harness/report.hpp"
 
 namespace updsm::bench {
@@ -23,6 +26,10 @@ struct BenchOptions {
   int warmup = 5;           // covers migration + overdrive learning
   int iterations = 10;      // measured steady-state time-steps
   std::uint64_t seed = 0x1998'0330;
+  /// Experiment-grid worker count; 1 reproduces the serial behavior.
+  /// Output is byte-identical for every value (results are collected by
+  /// grid index, and each cell is an independent deterministic simulation).
+  int jobs = harness::default_jobs();
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -40,12 +47,15 @@ struct BenchOptions {
         opt.iterations = std::atoi(v);
       } else if (const char* v = value("--warmup=")) {
         opt.warmup = std::atoi(v);
+      } else if (const char* v = value("--jobs=")) {
+        opt.jobs = std::max(1, std::atoi(v));
       } else if (arg == "--quick") {
         opt.scale = 0.25;
         opt.iterations = 4;
       } else if (arg == "--help") {
         std::printf(
-            "options: --nodes=N --scale=F --iters=N --warmup=N --quick\n");
+            "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
+            "--quick\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -72,10 +82,56 @@ struct BenchOptions {
   }
 };
 
+/// One cell of the experiment grid: an application under a protocol.
+struct GridCell {
+  std::string app;
+  protocols::ProtocolKind kind;
+};
+
 /// Runs (and caches) the experiment grid used by several benches.
+///
+/// Benches declare their whole grid up front with warm(), which executes
+/// the missing cells on a worker pool (BenchOptions::jobs wide) and fills
+/// the cache; the subsequent per-cell accessors then never run anything,
+/// so the printed output is byte-identical no matter how many workers ran.
+/// Accessors also work without warm() -- they fall back to running the
+/// cell inline, exactly the pre-parallel behavior.
 class RunCache {
  public:
   explicit RunCache(const BenchOptions& opt) : opt_(opt) {}
+
+  /// Runs every not-yet-cached cell, plus the sequential baseline of every
+  /// app named by `cells` (computed once per app and shared across all of
+  /// its cells), on `opt.jobs` workers.
+  void warm(const std::vector<GridCell>& cells) {
+    std::vector<std::string> keys;
+    std::vector<std::function<harness::RunResult()>> tasks;
+    auto plan = [&](const std::string& key,
+                    std::function<harness::RunResult()> task) {
+      if (cache_.count(key) != 0) return;
+      // Dedup within this warm() call: the same app appears in many cells.
+      if (std::find(keys.begin(), keys.end(), key) != keys.end()) return;
+      keys.push_back(key);
+      tasks.push_back(std::move(task));
+    };
+    for (const GridCell& cell : cells) {
+      const BenchOptions opt = opt_;
+      plan(cell.app + "/seq", [opt, app = cell.app] {
+        return harness::run_sequential(app, opt.cluster_config(),
+                                       opt.app_params());
+      });
+      plan(cell.app + "/" + protocols::to_string(cell.kind),
+           [opt, app = cell.app, kind = cell.kind] {
+             return harness::run_app(app, kind, opt.cluster_config(),
+                                     opt.app_params());
+           });
+    }
+    std::vector<harness::RunResult> results =
+        harness::run_grid(tasks, opt_.jobs);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      cache_.emplace(keys[i], std::move(results[i]));
+    }
+  }
 
   const harness::RunResult& parallel(std::string_view app,
                                      protocols::ProtocolKind kind) {
@@ -131,6 +187,45 @@ class RunCache {
 [[nodiscard]] inline bool overdrive_safe(std::string_view app) {
   apps::AppParams probe;
   return apps::make_app(app, probe)->overdrive_safe();
+}
+
+/// All apps under every paper protocol, with the overdrive protocols
+/// filtered to overdrive-safe apps -- the grid of sweep_matrix and
+/// claims_summary.
+[[nodiscard]] inline std::vector<GridCell> full_grid() {
+  using protocols::ProtocolKind;
+  std::vector<GridCell> cells;
+  for (const auto app : apps::app_names()) {
+    for (const auto kind : protocols::all_paper_protocols()) {
+      if (!overdrive_safe(app) &&
+          (kind == ProtocolKind::BarS || kind == ProtocolKind::BarM)) {
+        continue;
+      }
+      cells.push_back(GridCell{std::string(app), kind});
+    }
+  }
+  return cells;
+}
+
+/// All apps under the four base protocols (table1, fig2).
+[[nodiscard]] inline std::vector<GridCell> base_grid() {
+  std::vector<GridCell> cells;
+  for (const auto app : apps::app_names()) {
+    for (const auto kind : protocols::base_protocols()) {
+      cells.push_back(GridCell{std::string(app), kind});
+    }
+  }
+  return cells;
+}
+
+/// All apps under one protocol (fig3's bar-u column).
+[[nodiscard]] inline std::vector<GridCell> single_protocol_grid(
+    protocols::ProtocolKind kind) {
+  std::vector<GridCell> cells;
+  for (const auto app : apps::app_names()) {
+    cells.push_back(GridCell{std::string(app), kind});
+  }
+  return cells;
 }
 
 }  // namespace updsm::bench

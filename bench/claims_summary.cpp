@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using protocols::ProtocolKind;
   const auto opt = bench::BenchOptions::parse(argc, argv);
   bench::RunCache cache(opt);
+  cache.warm(bench::full_grid());
 
   // Verify every run first: a claim check over wrong answers is worthless.
   for (const auto app : apps::app_names()) {

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using protocols::ProtocolKind;
   const auto opt = bench::BenchOptions::parse(argc, argv);
   bench::RunCache cache(opt);
+  cache.warm(bench::base_grid());
 
   const auto protos = protocols::base_protocols();
   std::vector<std::string> app_list;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using protocols::ProtocolKind;
   const auto opt = bench::BenchOptions::parse(argc, argv);
   bench::RunCache cache(opt);
+  cache.warm(bench::single_protocol_grid(ProtocolKind::BarU));
 
   std::cout << "Figure 3: Time Breakdown for Bar-u (" << opt.nodes
             << " nodes, scale " << harness::fmt(opt.scale, 2) << ")\n\n";

@@ -1,10 +1,15 @@
 // Micro-benchmarks of the substrate primitives (google-benchmark): diff
-// creation/application throughput for sparse and dense modifications, twin
-// copies, and the simulated-platform composite costs (the §3.2
-// micro-benchmark table: RPC round trip, remote fault).
+// creation/application throughput for sparse, dense, alternating and
+// identical modifications, twin copies, and the simulated-platform
+// composite costs (the §3.2 micro-benchmark table: RPC round trip, remote
+// fault). Also emits BENCH_diff.json, a machine-readable wall-clock summary
+// of diff-creation throughput for perf-trajectory tracking.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "updsm/mem/diff.hpp"
@@ -20,6 +25,27 @@ std::vector<std::byte> make_page(std::size_t size, unsigned seed) {
     page[i] = static_cast<std::byte>((i * 31 + seed) & 0xff);
   }
   return page;
+}
+
+/// The canonical dirty patterns for diff-creation throughput. `sparse` is
+/// the paper's common case (a few touched islands per page) and the target
+/// of the block-skip fast path; `alternating` (every other word dirty)
+/// defeats block skipping entirely and bounds the fast path's overhead.
+std::vector<std::byte> make_current(const std::vector<std::byte>& twin,
+                                    const std::string& pattern) {
+  std::vector<std::byte> cur = twin;
+  if (pattern == "dense") {
+    for (auto& b : cur) b = static_cast<std::byte>(~std::to_integer<unsigned>(b));
+  } else if (pattern == "sparse") {
+    for (std::size_t off = 0; off + 16 <= cur.size(); off += 768) {
+      std::memset(cur.data() + off, 0x5a, 16);
+    }
+  } else if (pattern == "alternating") {
+    for (std::size_t off = 0; off < cur.size(); off += 16) {
+      std::memset(cur.data() + off, 0x5a, 8);
+    }
+  }  // "identical": leave the copy untouched
+  return cur;
 }
 
 void BM_DiffCreateSparse(benchmark::State& state) {
@@ -52,6 +78,47 @@ void BM_DiffCreateDense(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffCreateDense)->Arg(4096)->Arg(8192)->Arg(16384);
 
+void BM_DiffCreateAlternating(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto twin = make_page(size, 1);
+  const auto cur = make_current(twin, "alternating");
+  for (auto _ : state) {
+    Diff diff = Diff::create(twin, cur);
+    benchmark::DoNotOptimize(diff.payload_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_DiffCreateAlternating)->Arg(8192);
+
+void BM_DiffCreateIdentical(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto twin = make_page(size, 1);
+  const auto cur = twin;
+  for (auto _ : state) {
+    Diff diff = Diff::create(twin, cur);
+    benchmark::DoNotOptimize(diff.empty());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_DiffCreateIdentical)->Arg(4096)->Arg(8192)->Arg(16384);
+
+void BM_DiffCreateIntoReused(benchmark::State& state) {
+  // The protocol hot loop: one scratch diff recycled across pages.
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto twin = make_page(size, 1);
+  const auto cur = make_current(twin, "sparse");
+  Diff scratch;
+  for (auto _ : state) {
+    Diff::create_into(scratch, twin, cur);
+    benchmark::DoNotOptimize(scratch.payload_bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_DiffCreateIntoReused)->Arg(8192);
+
 void BM_DiffApply(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
   const auto twin = make_page(size, 1);
@@ -81,6 +148,63 @@ void BM_CostModelComposites(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelComposites);
 
+/// Hand-rolled wall-clock summary of diff-creation throughput, written as
+/// BENCH_diff.json next to the binary's working directory. Deliberately
+/// independent of google-benchmark so regression tooling can parse one
+/// stable, minimal format.
+void write_diff_summary(const char* path) {
+  constexpr std::size_t kPage = 8192;
+  const auto twin = make_page(kPage, 1);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"diff_create\",\n  \"page_bytes\": %zu,\n"
+               "  \"results\": [\n", kPage);
+  const char* patterns[] = {"identical", "sparse", "alternating", "dense"};
+  bool first = true;
+  for (const char* pattern : patterns) {
+    const auto cur = make_current(twin, pattern);
+    using clock = std::chrono::steady_clock;
+    // Calibrate the iteration count to ~100ms, then measure.
+    std::size_t iters = 64;
+    for (;;) {
+      const auto t0 = clock::now();
+      Diff scratch;
+      for (std::size_t i = 0; i < iters; ++i) {
+        Diff::create_into(scratch, twin, cur);
+        benchmark::DoNotOptimize(scratch.payload_bytes());
+      }
+      const double sec =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (sec >= 0.1 || iters >= (1u << 24)) {
+        const double ns_per_page = sec * 1e9 / static_cast<double>(iters);
+        const double gib_per_s =
+            static_cast<double>(iters) * static_cast<double>(kPage) /
+            (sec * 1024.0 * 1024.0 * 1024.0);
+        std::fprintf(f,
+                     "%s    {\"pattern\": \"%s\", \"ns_per_page\": %.1f, "
+                     "\"gib_per_s\": %.3f}",
+                     first ? "" : ",\n", pattern, ns_per_page, gib_per_s);
+        first = false;
+        break;
+      }
+      iters *= 4;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_diff_summary("BENCH_diff.json");
+  return 0;
+}

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using protocols::ProtocolKind;
   const auto opt = bench::BenchOptions::parse(argc, argv);
   bench::RunCache cache(opt);
+  cache.warm(bench::full_grid());
 
   std::printf(
       "app,protocol,nodes,scale,iters,seq_ms,elapsed_ms,speedup,diffs,"

@@ -19,11 +19,19 @@ namespace updsm::dsm {
 class TwinStore {
  public:
   /// Snapshots `page_data` as the twin of `page`. A twin must not already
-  /// exist (protocols create exactly one twin per page per epoch).
+  /// exist (protocols create exactly one twin per page per epoch). Reuses a
+  /// pooled buffer from an earlier discard() when one is available, so the
+  /// twin/diff/discard cycle of each epoch allocates nothing in steady
+  /// state.
   void create(PageId page, std::span<const std::byte> page_data) {
     auto [it, inserted] = twins_.try_emplace(page);
     UPDSM_CHECK_MSG(inserted, "twin for page " << page << " already exists");
-    it->second.assign(page_data.begin(), page_data.end());
+    if (!pool_.empty()) {
+      it->second = std::move(pool_.back());
+      pool_.pop_back();
+    }
+    it->second.resize(page_data.size());
+    std::memcpy(it->second.data(), page_data.data(), page_data.size());
   }
 
   /// Re-snapshots an existing twin in place (bar-s/bar-m refresh the twin
@@ -43,17 +51,37 @@ class TwinStore {
     return it->second;
   }
 
-  void discard(PageId page) { twins_.erase(page); }
-  void clear() { twins_.clear(); }
+  void discard(PageId page) {
+    const auto it = twins_.find(page);
+    if (it == twins_.end()) return;
+    recycle(std::move(it->second));
+    twins_.erase(it);
+  }
+
+  void clear() {
+    for (auto& [page, twin] : twins_) recycle(std::move(twin));
+    twins_.clear();
+  }
 
   [[nodiscard]] std::size_t size() const { return twins_.size(); }
+
+  /// Page-sized buffers parked for reuse by the next create().
+  [[nodiscard]] std::size_t pooled_buffers() const { return pool_.size(); }
 
   /// Pages with live twins, in ascending page order (deterministic
   /// iteration for diff creation).
   [[nodiscard]] std::vector<PageId> pages_sorted() const;
 
  private:
+  static constexpr std::size_t kMaxPooled = 64;
+
+  void recycle(std::vector<std::byte>&& buffer) {
+    if (buffer.capacity() == 0 || pool_.size() >= kMaxPooled) return;
+    pool_.push_back(std::move(buffer));
+  }
+
   std::unordered_map<PageId, std::vector<std::byte>> twins_;
+  std::vector<std::vector<std::byte>> pool_;
 };
 
 inline std::vector<PageId> TwinStore::pages_sorted() const {

@@ -1,0 +1,31 @@
+// Parallel experiment engine: runs a grid of independent experiment cells
+// on a fixed-size worker pool.
+//
+// Every (application, protocol, cluster) run is a pure function of its
+// configuration -- the Gang baton keeps each simulation serial and
+// bit-deterministic internally -- so whole runs can execute concurrently
+// with no shared mutable state. Results are collected by grid index, never
+// by completion order, which makes the output of every bench byte-identical
+// regardless of the worker count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "updsm/harness/experiment.hpp"
+
+namespace updsm::harness {
+
+/// Default worker count: the hardware concurrency, at least 1.
+[[nodiscard]] int default_jobs();
+
+/// Runs every task on a pool of `jobs` workers and returns the results
+/// indexed exactly like `tasks` (deterministic-ordered collection).
+/// `jobs <= 1` degenerates to a serial in-order loop, reproducing the
+/// single-threaded behavior exactly. The first exception thrown by any task
+/// aborts the remaining unstarted tasks and is rethrown after the pool
+/// drains.
+[[nodiscard]] std::vector<RunResult> run_grid(
+    const std::vector<std::function<RunResult()>>& tasks, int jobs);
+
+}  // namespace updsm::harness

@@ -1,0 +1,55 @@
+#include "updsm/harness/parallel_grid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace updsm::harness {
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<RunResult> run_grid(
+    const std::vector<std::function<RunResult()>>& tasks, int jobs) {
+  std::vector<RunResult> results(tasks.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+    return results;
+  }
+
+  // Work-stealing by shared index: workers claim the next unclaimed cell.
+  // Claim order affects only scheduling; results land at their own index.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size() || abort.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = tasks[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(jobs), tasks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace updsm::harness

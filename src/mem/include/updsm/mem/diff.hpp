@@ -32,6 +32,13 @@ class Diff {
   [[nodiscard]] static Diff create(std::span<const std::byte> twin,
                                    std::span<const std::byte> cur);
 
+  /// Like create(), but rebuilds into `out`, reusing whatever run/payload
+  /// capacity it already owns (the diff-pipeline hot loop creates one diff
+  /// per twinned page per barrier; recycling spent diffs makes that loop
+  /// allocation-free in steady state).
+  static void create_into(Diff& out, std::span<const std::byte> twin,
+                          std::span<const std::byte> cur);
+
   /// A degenerate diff covering the whole page in one run: applying it
   /// reproduces `contents` on any base. Used when a single-writer page
   /// re-enters normal coherence and its accumulated silent modifications
@@ -44,6 +51,13 @@ class Diff {
   /// True when the page was not actually modified (zero runs). bar-s uses
   /// this to suppress updates for predicted-but-unwritten pages (§4.1).
   [[nodiscard]] bool empty() const { return runs_.empty(); }
+
+  /// Drops the runs and payload but keeps the allocated capacity, readying
+  /// the object for create_into() reuse.
+  void clear() {
+    runs_.clear();
+    data_.clear();
+  }
 
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
   [[nodiscard]] std::span<const DiffRun> runs() const { return runs_; }
@@ -58,9 +72,11 @@ class Diff {
 
   /// Bytes this diff occupies in memory while retained (lmw garbage-
   /// collection statistics, paper §2.2 "voracious appetites for memory").
+  /// Content-based (run table + payload), not capacity-based, so the
+  /// accounting -- and the GC trigger derived from it -- is a pure function
+  /// of the diffed data, independent of buffer-pool reuse history.
   [[nodiscard]] std::uint64_t memory_bytes() const {
-    return sizeof(Diff) + runs_.capacity() * sizeof(DiffRun) +
-           data_.capacity();
+    return sizeof(Diff) + runs_.size() * sizeof(DiffRun) + data_.size();
   }
 
   /// True if the modified ranges of the two diffs intersect; data-race-free
@@ -75,6 +91,34 @@ class Diff {
  private:
   std::vector<DiffRun> runs_;
   std::vector<std::byte> data_;  // concatenated run payloads
+};
+
+/// Bounded free-list of spent Diff objects. Protocol epochs create and
+/// destroy one diff per twinned page; routing the dead ones through a pool
+/// lets create_into() reuse their buffers instead of reallocating.
+class DiffPool {
+ public:
+  /// A recycled diff (cleared, capacity intact), or a fresh one.
+  [[nodiscard]] Diff take() {
+    if (pool_.empty()) return Diff{};
+    Diff d = std::move(pool_.back());
+    pool_.pop_back();
+    return d;
+  }
+
+  /// Clears `diff` and keeps its buffers for a later take(). Bounded so a
+  /// one-off burst of diffs cannot pin memory forever.
+  void recycle(Diff&& diff) {
+    if (pool_.size() >= kMaxPooled) return;
+    diff.clear();
+    pool_.push_back(std::move(diff));
+  }
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 64;
+  std::vector<Diff> pool_;
 };
 
 }  // namespace updsm::mem

@@ -1,5 +1,6 @@
 #include "updsm/mem/diff.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace updsm::mem {
@@ -9,20 +10,70 @@ namespace {
 /// this size (PageTable enforces power-of-two >= 64).
 using Word = std::uint64_t;
 
+/// Block used for the memcmp prescan that skips clean stretches without
+/// touching the per-word loop. Must be a multiple of sizeof(Word); 64
+/// matches a cache line, so a clean block costs one resident-line compare.
+constexpr std::size_t kBlock = 64;
+constexpr std::size_t kWordsPerBlock = kBlock / sizeof(Word);
+
 }  // namespace
 
 Diff Diff::create(std::span<const std::byte> twin,
                   std::span<const std::byte> cur) {
+  Diff diff;
+  create_into(diff, twin, cur);
+  return diff;
+}
+
+void Diff::create_into(Diff& out, std::span<const std::byte> twin,
+                       std::span<const std::byte> cur) {
   UPDSM_CHECK_MSG(twin.size() == cur.size(),
                   "twin/current size mismatch: " << twin.size() << " vs "
                                                  << cur.size());
   UPDSM_CHECK(twin.size() % sizeof(Word) == 0);
+  out.clear();
 
-  Diff diff;
   const std::size_t words = twin.size() / sizeof(Word);
+  const std::size_t full_blocks = twin.size() / kBlock;
+
+  // Prescan: memcmp whole blocks to size runs_/data_ up front (no growth
+  // reallocations in the extension loop) and to bail out on the very common
+  // identical-page case without ever entering the per-word path. A run can
+  // never cross a clean block (all its words match), so the span count here
+  // is a true upper bound on the run count.
+  std::size_t dirty_blocks = 0;
+  std::size_t dirty_spans = 0;
+  bool prev_dirty = false;
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    const bool dirty = std::memcmp(twin.data() + b * kBlock,
+                                   cur.data() + b * kBlock, kBlock) != 0;
+    dirty_blocks += dirty;
+    dirty_spans += dirty && !prev_dirty;
+    prev_dirty = dirty;
+  }
+  const std::size_t tail_bytes = twin.size() - full_blocks * kBlock;
+  if (tail_bytes != 0 &&
+      std::memcmp(twin.data() + full_blocks * kBlock,
+                  cur.data() + full_blocks * kBlock, tail_bytes) != 0) {
+    ++dirty_blocks;
+    if (!prev_dirty) ++dirty_spans;
+  }
+  if (dirty_blocks == 0) return;
+  out.runs_.reserve(dirty_spans);
+  out.data_.reserve(std::min(dirty_blocks * kBlock, twin.size()));
+
   std::size_t w = 0;
   while (w < words) {
-    // Skip identical words.
+    // Re-skip clean blocks when word-aligned to one; between blocks (and in
+    // the tail) fall back to skipping identical words one at a time.
+    if (w % kWordsPerBlock == 0) {
+      while (w + kWordsPerBlock <= words &&
+             std::memcmp(twin.data() + w * sizeof(Word),
+                         cur.data() + w * sizeof(Word), kBlock) == 0) {
+        w += kWordsPerBlock;
+      }
+      if (w >= words) break;
+    }
     Word a;
     Word b;
     std::memcpy(&a, twin.data() + w * sizeof(Word), sizeof(Word));
@@ -43,13 +94,12 @@ Diff Diff::create(std::span<const std::byte> twin,
     DiffRun run;
     run.offset = static_cast<std::uint32_t>(start * sizeof(Word));
     run.length = static_cast<std::uint32_t>((w - start) * sizeof(Word));
-    const std::size_t old_size = diff.data_.size();
-    diff.data_.resize(old_size + run.length);
-    std::memcpy(diff.data_.data() + old_size, cur.data() + run.offset,
+    const std::size_t old_size = out.data_.size();
+    out.data_.resize(old_size + run.length);
+    std::memcpy(out.data_.data() + old_size, cur.data() + run.offset,
                 run.length);
-    diff.runs_.push_back(run);
+    out.runs_.push_back(run);
   }
-  return diff;
 }
 
 Diff Diff::full_page(std::span<const std::byte> contents) {

@@ -181,6 +181,10 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   BarMode mode_;
   dsm::Runtime* rt_ = nullptr;
   std::vector<NodeState> nodes_;
+  /// Spent diffs (applied queued flushes, consumed inbox pushes, zero
+  /// diffs) recycled for create_into() reuse. The gang baton serializes all
+  /// protocol hooks, so one protocol-wide pool is race-free.
+  mem::DiffPool diff_pool_;
   std::vector<PageGlobal> global_;
   /// Pages touched this epoch (set at first write note; master consumes).
   std::vector<PageId> epoch_touched_;

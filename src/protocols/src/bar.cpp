@@ -221,7 +221,8 @@ void BarProtocol::barrier_arrive(NodeId n) {
 
   for (const PageId page : to_diff) {
     PageGlobal& gp = gpage(page);
-    Diff diff = Diff::create(st.twins.get(page), rt_->table(n).frame(page));
+    Diff diff = diff_pool_.take();
+    Diff::create_into(diff, st.twins.get(page), rt_->table(n).frame(page));
     rt_->charge_dsm(n, dsm_costs.diff_fixed,
                     dsm_costs.diff_create_per_byte_ns, rt_->page_size());
     ++rt_->counters().diffs_created;
@@ -242,6 +243,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
       // Predicted-but-unwritten page: pure overhead (paper §4.1), or a
       // trapped write that restored the original values.
       ++rt_->counters().zero_diffs;
+      diff_pool_.recycle(std::move(diff));
       continue;
     }
     // A real modification exists: this node is a writer of the page.
@@ -264,12 +266,17 @@ void BarProtocol::barrier_arrive(NodeId n) {
         ++rt_->counters().updates_sent;
         if (!rt_->flush(n, member, diff.wire_bytes())) return;  // dropped
         ++rt_->counters().updates_received;
-        node(member).inbox.push_back(InboxEntry{page, n, diff});
+        // Copy through a recycled diff so the inbox copy reuses capacity.
+        Diff copy = diff_pool_.take();
+        copy = diff;
+        node(member).inbox.push_back(InboxEntry{page, n, std::move(copy)});
       });
     }
 
     if (n != gp.home) {
       gp.queued.push_back(QueuedDiff{n, std::move(diff)});
+    } else {
+      diff_pool_.recycle(std::move(diff));
     }
   }
 
@@ -340,6 +347,7 @@ void BarProtocol::barrier_master() {
                                           gp.writers_epoch});
     gp.version = new_version;
     node(home).cached_version[page.index()] = new_version;
+    for (QueuedDiff& qd : gp.queued) diff_pool_.recycle(std::move(qd.diff));
     gp.queued.clear();
     gp.writers_epoch = 0;
     gp.home_wrote = false;
@@ -614,7 +622,9 @@ void BarProtocol::barrier_release(NodeId n) {
     }
   }
 
-  // Drop all inbox entries for this epoch (applied or ignored).
+  // Drop all inbox entries for this epoch (applied or ignored), recycling
+  // their diff buffers.
+  for (InboxEntry& e : st.inbox) diff_pool_.recycle(std::move(e.diff));
   st.inbox.clear();
 
   // Learning: pages that receive updates feed bar-m's writable union.

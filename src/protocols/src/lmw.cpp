@@ -179,8 +179,8 @@ void LmwProtocol::barrier_arrive(NodeId n) {
   const auto& dsm_costs = rt_->costs().dsm;
 
   for (const PageId page : st.twins.pages_sorted()) {
-    Diff diff = Diff::create(st.twins.get(page),
-                             rt_->table(n).frame(page));
+    Diff diff = st.created.take_scratch();
+    Diff::create_into(diff, st.twins.get(page), rt_->table(n).frame(page));
     rt_->charge_dsm(n, dsm_costs.diff_fixed, dsm_costs.diff_create_per_byte_ns,
                     rt_->page_size());
     ++rt_->counters().diffs_created;
@@ -201,6 +201,8 @@ void LmwProtocol::barrier_arrive(NodeId n) {
         rt_->add_arrival_payload(n, WriteNotice::kWireBytes);
         st.created.squash_put(DiffStore::Key{page, epoch, n},
                               std::move(diff));
+      } else {
+        st.created.recycle(std::move(diff));
       }
       continue;
     }
@@ -226,7 +228,7 @@ void LmwProtocol::barrier_arrive(NodeId n) {
         rt_->charge_dsm(member, dsm_costs.update_store_fixed,
                         dsm_costs.update_store_per_byte_ns,
                         diff.wire_bytes(), /*sigio=*/true);
-        node(member).stored_updates.put(
+        node(member).stored_updates.put_copy(
             DiffStore::Key{page, epoch, n}, diff);
       });
     }
