@@ -30,6 +30,9 @@ struct BenchOptions {
   /// Output is byte-identical for every value (results are collected by
   /// grid index, and each cell is an independent deterministic simulation).
   int jobs = harness::default_jobs();
+  /// Intra-run node scheduling (--gang=parallel|baton). Output is
+  /// byte-identical across modes; a ctest pins it.
+  sim::GangMode gang = sim::GangMode::Parallel;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -49,13 +52,23 @@ struct BenchOptions {
         opt.warmup = std::atoi(v);
       } else if (const char* v = value("--jobs=")) {
         opt.jobs = std::max(1, std::atoi(v));
+      } else if (const char* v = value("--gang=")) {
+        const std::string mode = v;
+        if (mode == "parallel") {
+          opt.gang = sim::GangMode::Parallel;
+        } else if (mode == "baton") {
+          opt.gang = sim::GangMode::Baton;
+        } else {
+          std::fprintf(stderr, "unknown gang mode: %s\n", v);
+          std::exit(2);
+        }
       } else if (arg == "--quick") {
         opt.scale = 0.25;
         opt.iterations = 4;
       } else if (arg == "--help") {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
-            "--quick\n");
+            "--gang=parallel|baton --quick\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -78,6 +91,7 @@ struct BenchOptions {
     dsm::ClusterConfig cfg;
     cfg.num_nodes = nodes;
     cfg.seed = seed;
+    cfg.gang = gang;
     return cfg;
   }
 };

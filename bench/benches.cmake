@@ -23,7 +23,9 @@ updsm_add_bench(ablation_nodes)
 updsm_add_bench(ablation_migration)
 
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
-target_link_libraries(micro_primitives PRIVATE updsm::mem updsm::sim benchmark::benchmark)
+target_link_libraries(micro_primitives PRIVATE
+  updsm::mem updsm::sim updsm::harness updsm::apps updsm::protocols
+  benchmark::benchmark)
 set_target_properties(micro_primitives PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 updsm_add_bench(sweep_matrix)

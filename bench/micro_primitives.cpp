@@ -1,19 +1,24 @@
 // Micro-benchmarks of the substrate primitives (google-benchmark): diff
 // creation/application throughput for sparse, dense, alternating and
-// identical modifications, twin copies, and the simulated-platform
-// composite costs (the §3.2 micro-benchmark table: RPC round trip, remote
-// fault). Also emits BENCH_diff.json, a machine-readable wall-clock summary
-// of diff-creation throughput for perf-trajectory tracking.
+// identical modifications, twin copies, the simulated-platform composite
+// costs (the §3.2 micro-benchmark table: RPC round trip, remote fault), and
+// the gang scheduler (phase dispatch latency and barrier throughput in both
+// modes). Emits BENCH_diff.json (diff-creation throughput) and
+// BENCH_gang.json (baton vs parallel wall-clock of a real workload at
+// 2/4/8 nodes) for perf-trajectory tracking.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "updsm/harness/experiment.hpp"
 #include "updsm/mem/diff.hpp"
 #include "updsm/sim/cost_model.hpp"
+#include "updsm/sim/gang.hpp"
 
 namespace {
 
@@ -148,6 +153,48 @@ void BM_CostModelComposites(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelComposites);
 
+// --- gang scheduler ---------------------------------------------------------
+
+updsm::sim::GangMode gang_mode(std::int64_t flag) {
+  return flag == 0 ? updsm::sim::GangMode::Baton
+                   : updsm::sim::GangMode::Parallel;
+}
+
+/// Latency of one run() dispatch: arm the persistent pool, execute one
+/// (empty) phase per node, join. Args: {nodes, 0=baton|1=parallel}.
+void BM_GangPhaseDispatch(benchmark::State& state) {
+  updsm::sim::Gang gang(static_cast<int>(state.range(0)),
+                        gang_mode(state.range(1)));
+  for (auto _ : state) {
+    gang.run([](int) {}, [](std::uint64_t) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GangPhaseDispatch)
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1});
+
+/// Barrier throughput: barriers completed per second with empty phases --
+/// the pure scheduling cost a protocol's barrier work rides on.
+/// Args: {nodes, 0=baton|1=parallel}.
+void BM_GangBarrierThroughput(benchmark::State& state) {
+  constexpr int kBarriersPerRun = 64;
+  updsm::sim::Gang gang(static_cast<int>(state.range(0)),
+                        gang_mode(state.range(1)));
+  for (auto _ : state) {
+    gang.run(
+        [&](int node) {
+          for (int i = 0; i < kBarriersPerRun; ++i) gang.barrier_wait(node);
+        },
+        [](std::uint64_t) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBarriersPerRun);
+}
+BENCHMARK(BM_GangBarrierThroughput)
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1});
+
 /// Hand-rolled wall-clock summary of diff-creation throughput, written as
 /// BENCH_diff.json next to the binary's working directory. Deliberately
 /// independent of google-benchmark so regression tooling can parse one
@@ -198,6 +245,69 @@ void write_diff_summary(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+/// Wall-clock of a fig2-style workload (sor + barnes under bar-u) in each
+/// gang mode at 2/4/8 nodes, written as BENCH_gang.json. The parallel gang
+/// can only beat the baton when the host has cores to spread the node
+/// threads over, so the host core count is recorded alongside the ratios:
+/// on >= 4 cores the 8-node ratio is the headline number (target >= 2x); on
+/// fewer cores a ratio near (or below) 1x is the expected, honest result.
+void write_gang_summary(const char* path) {
+  using clock = std::chrono::steady_clock;
+  using updsm::sim::GangMode;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(f,
+               "{\n  \"bench\": \"gang_modes\",\n  \"workload\": "
+               "\"sor+barnes under bar-u, scale 0.4, 4 iters\",\n"
+               "  \"host_cores\": %u,\n  \"results\": [\n",
+               cores);
+
+  auto wall_ms = [](int nodes, GangMode mode) {
+    updsm::apps::AppParams params;
+    params.scale = 0.4;
+    params.warmup_iterations = 2;
+    params.measured_iterations = 4;
+    updsm::dsm::ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.gang = mode;
+    const auto t0 = clock::now();
+    for (const char* app : {"sor", "barnes"}) {
+      const auto run = updsm::harness::run_app(
+          app, updsm::protocols::ProtocolKind::BarU, cfg, params);
+      benchmark::DoNotOptimize(run.checksum);
+    }
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+
+  bool first = true;
+  for (const int nodes : {2, 4, 8}) {
+    // Warm once (first-touch page cache, pool spawn), then take the best
+    // of three to damp scheduler noise.
+    (void)wall_ms(nodes, GangMode::Baton);
+    double baton = 1e300;
+    double parallel = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      baton = std::min(baton, wall_ms(nodes, GangMode::Baton));
+      parallel = std::min(parallel, wall_ms(nodes, GangMode::Parallel));
+    }
+    std::fprintf(f,
+                 "%s    {\"nodes\": %d, \"baton_ms\": %.1f, "
+                 "\"parallel_ms\": %.1f, \"speedup\": %.2f}",
+                 first ? "" : ",\n", nodes, baton, parallel,
+                 baton / parallel);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,5 +316,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_diff_summary("BENCH_diff.json");
+  write_gang_summary("BENCH_gang.json");
   return 0;
 }

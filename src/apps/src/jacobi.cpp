@@ -62,8 +62,10 @@ void JacobiApp::step(dsm::NodeContext& ctx, int /*iter*/) {
   }
   ctx.compute_flops(points * kFlopsPerPoint);
   // Convergence test: the global max residual rides the epoch's closing
-  // barrier (explicit reduction support, paper §2.2.1).
-  last_residual_ = ctx.reduce_max(residual);
+  // barrier (explicit reduction support, paper §2.2.1). Every node gets the
+  // same value back, but only one thread may store it into the app object.
+  const double reduced = ctx.reduce_max(residual);
+  if (ctx.node() == 0) last_residual_ = reduced;
 
   // Copy-back epoch: cur <- next over owned rows.
   for (std::size_t r = 1 + mine.lo; r < 1 + mine.hi; ++r) {

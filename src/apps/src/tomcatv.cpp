@@ -84,7 +84,10 @@ void TomcatvApp::step(dsm::NodeContext& ctx, int /*iter*/) {
     ry_w[0] = ry_w[n_ - 1] = 0.0;
   }
   ctx.compute_flops(points * 40);
-  last_residual_ = ctx.reduce_max(residual);  // closes the epoch
+  // The reduction closes the epoch; every node gets the same value back,
+  // but only one thread may store it into the (cross-node) app object.
+  const double reduced = ctx.reduce_max(residual);
+  if (ctx.node() == 0) last_residual_ = reduced;
 
   // Phase 2: tridiagonal relaxation along each owned line (APR transposed
   // layout makes lines contiguous and the solve purely local).

@@ -1,0 +1,68 @@
+// Relaxed-atomic accounting cells for the parallel gang.
+//
+// Under GangMode::Parallel, several simulated nodes mutate shared
+// accounting concurrently mid-phase: cluster-wide protocol counters, a
+// responder's OS/virtual-clock charges (the sigio model lets a requester
+// charge the service time to the responder's clock), and per-page copyset
+// bitmaps. All of those mutations are *commutative* -- integer adds and
+// bitmask or/and -- so wrapping the fields in relaxed atomics preserves
+// bit-exact totals whatever order the nodes ran in, while making the races
+// benign for ThreadSanitizer and the C++ memory model. No ordering is
+// implied or needed: cross-thread visibility is established by the gang's
+// barrier mutex, and mid-phase readers only ever need their own writes.
+//
+// Relaxed<T> is deliberately copyable (unlike std::atomic) so the structs
+// that embed it keep value semantics: results are snapshotted into
+// RunResult, frozen at end_measurement, and summed across nodes -- always
+// from the controller thread, where no concurrent writer exists.
+#pragma once
+
+#include <atomic>
+
+namespace updsm {
+
+template <typename T>
+class Relaxed {
+ public:
+  constexpr Relaxed(T v = T{}) noexcept : v_(v) {}
+  Relaxed(const Relaxed& o) noexcept : v_(o.load()) {}
+  Relaxed& operator=(const Relaxed& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator=(T v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] T load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator T() const noexcept { return load(); }
+
+  Relaxed& operator+=(T d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator-=(T d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator|=(T m) noexcept {
+    v_.fetch_or(m, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator&=(T m) noexcept {
+    v_.fetch_and(m, std::memory_order_relaxed);
+    return *this;
+  }
+  Relaxed& operator++() noexcept { return *this += T{1}; }
+  T operator++(int) noexcept {
+    return v_.fetch_add(T{1}, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+}  // namespace updsm

@@ -118,8 +118,11 @@ class Cluster {
   double reduce_result_ = 0.0;
   bool reduce_result_valid_ = false;
 
-  std::vector<bool> measurement_requested_;
-  std::vector<bool> measurement_end_requested_;
+  // One byte per node, not vector<bool>: nodes set their own flag from
+  // their own thread mid-phase under the parallel gang, and vector<bool>'s
+  // packed bits would make that a shared-byte data race.
+  std::vector<std::uint8_t> measurement_requested_;
+  std::vector<std::uint8_t> measurement_end_requested_;
   std::vector<std::uint64_t> iteration_count_;
 
   std::unique_ptr<RaceDetector> race_detector_;  // null when Off

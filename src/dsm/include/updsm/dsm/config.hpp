@@ -6,6 +6,7 @@
 
 #include "updsm/dsm/race_detector.hpp"
 #include "updsm/sim/cost_model.hpp"
+#include "updsm/sim/gang.hpp"
 
 namespace updsm::dsm {
 
@@ -27,6 +28,11 @@ struct ClusterConfig {
   /// Seed for all stochastic machinery (flush drops; app datasets draw from
   /// their own seeds).
   std::uint64_t seed = 0x1998'0330;
+  /// Intra-run node scheduling. Parallel runs all ready nodes concurrently
+  /// between barriers (results are bit-identical to Baton -- a ctest pins
+  /// it); the cluster silently downgrades to Baton for protocols whose
+  /// fault handlers are not parallel-safe (sc-sw).
+  sim::GangMode gang = sim::GangMode::Parallel;
 
   // --- home-based protocol options (bar-*) -------------------------------
   /// Runtime home migration after the first iteration (§2.2.1, third

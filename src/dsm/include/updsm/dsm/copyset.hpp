@@ -4,10 +4,15 @@
 // Producers use it to push updates instead of waiting for invalidation
 // faults. Copysets are *hints*: stale entries cost wasted flushes, missing
 // entries cost one more fault -- never correctness.
+//
+// The bitmap is a relaxed-atomic cell: under the parallel gang, several
+// faulting nodes may add themselves to the same page's copyset mid-phase.
+// Bitmask or/and commute, so the barrier-time value is schedule-independent.
 #pragma once
 
 #include <cstdint>
 
+#include "updsm/common/atomic_stat.hpp"
 #include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
 
@@ -17,14 +22,16 @@ class Copyset {
  public:
   void add(NodeId n) { bits_ |= bit(n); }
   void remove(NodeId n) { bits_ &= ~bit(n); }
-  [[nodiscard]] bool contains(NodeId n) const { return (bits_ & bit(n)) != 0; }
-  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  [[nodiscard]] bool contains(NodeId n) const {
+    return (bits_.load() & bit(n)) != 0;
+  }
+  [[nodiscard]] bool empty() const { return bits_.load() == 0; }
   void clear() { bits_ = 0; }
 
-  [[nodiscard]] int count() const { return __builtin_popcountll(bits_); }
+  [[nodiscard]] int count() const { return __builtin_popcountll(bits_.load()); }
 
   /// Raw bitmap, as shipped in release messages (8 bytes on the wire).
-  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] std::uint64_t bits() const { return bits_.load(); }
   static Copyset from_bits(std::uint64_t bits) {
     Copyset cs;
     cs.bits_ = bits;
@@ -34,7 +41,7 @@ class Copyset {
   /// Iterates members in node order: f(NodeId).
   template <typename F>
   void for_each(F&& f) const {
-    std::uint64_t b = bits_;
+    std::uint64_t b = bits_.load();
     while (b != 0) {
       const int i = __builtin_ctzll(b);
       f(NodeId{static_cast<std::uint32_t>(i)});
@@ -42,7 +49,9 @@ class Copyset {
     }
   }
 
-  friend bool operator==(Copyset a, Copyset b) { return a.bits_ == b.bits_; }
+  friend bool operator==(Copyset a, Copyset b) {
+    return a.bits_.load() == b.bits_.load();
+  }
 
  private:
   static std::uint64_t bit(NodeId n) {
@@ -51,7 +60,7 @@ class Copyset {
     return 1ULL << n.value();
   }
 
-  std::uint64_t bits_ = 0;
+  Relaxed<std::uint64_t> bits_ = 0;
 };
 
 }  // namespace updsm::dsm

@@ -37,6 +37,9 @@ class NullProtocol final : public CoherenceProtocol {
   void write_fault(NodeId, PageId) override {
     throw InternalError("NullProtocol cannot fault");
   }
+  // Trivially parallel-safe: no faults, no shared protocol state (and only
+  // one node anyway).
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   void barrier_arrive(NodeId) override {}
   void barrier_master() override {}
   void barrier_release(NodeId) override {}

@@ -1,18 +1,26 @@
 // The coherence-protocol interface.
 //
-// A protocol implements the paper's per-event behaviour. All hooks run on
-// exactly one thread at a time (the gang guarantees it), so protocols are
-// written as straight-line single-threaded code:
+// A protocol implements the paper's per-event behaviour. The threading
+// contract has two tiers, selected by parallel_safe():
 //
 //  * read_fault / write_fault run on the faulting node's thread, mid-epoch.
-//    They may consult and charge any node (a remote request interrupts the
-//    responder), but must mutate only state that is logically local to the
-//    faulting node plus append-only service statistics -- the state they
-//    read on other nodes was published at the previous barrier and is
-//    frozen (LRC legality; see sim/gang.hpp).
+//    Under GangMode::Baton exactly one node runs at a time; under
+//    GangMode::Parallel (only if parallel_safe() returns true) several
+//    fault handlers run CONCURRENTLY. A parallel-safe handler must
+//    therefore (a) base every *decision* on state frozen at the previous
+//    barrier, (b) mutate only state logically local to the faulting node,
+//    plus commutative accounting (relaxed-atomic counters/copysets) and the
+//    node's own deferred-work logs, and (c) copy served page bytes from
+//    immutable mid-phase sources (twins, service snapshots, or read-only
+//    frames -- runtime.service_mutex() guards the upgrade race). State the
+//    handler reads on other nodes was published at the previous barrier and
+//    is frozen (LRC legality; see sim/gang.hpp).
 //
 //  * The barrier hooks run on the controller thread while every node is
-//    parked, in three globally ordered phases:
+//    parked, in globally ordered phases:
+//      barrier_begin()    -- (optional) replay per-node deferred-work logs
+//                            from the finished phase, in node order, before
+//                            any arrival processing;
 //      barrier_arrive(n)  -- capture node n's modifications (diff creation,
 //                            flush sends); must not touch other nodes'
 //                            frames;
@@ -20,10 +28,13 @@
 //                            aggregate write notices, decide migrations;
 //      barrier_release(n) -- node-n-side release work: invalidations,
 //                            applying received updates, re-arming write
-//                            traps, overdrive pre-twinning.
+//                            traps, overdrive pre-twinning;
+//      barrier_finish()   -- (optional) refresh barrier-frozen shadow state
+//                            (e.g. frozen copysets) after all release work.
 //    The phase split mirrors the real message flow and guarantees that diff
 //    creation always reads frames that contain exactly the creator's own
-//    epoch modifications.
+//    epoch modifications. Because every hook here is controller-context and
+//    node-ordered, barrier effects are deterministic in both gang modes.
 #pragma once
 
 #include <cstdint>
@@ -53,9 +64,23 @@ class CoherenceProtocol {
   virtual void read_fault(NodeId n, PageId page) = 0;
   virtual void write_fault(NodeId n, PageId page) = 0;
 
+  /// True when the protocol's fault handlers obey the parallel-safety
+  /// contract above. The cluster downgrades GangMode::Parallel to Baton for
+  /// protocols that return false (e.g. sc-sw, whose fault handlers perform
+  /// mid-phase cross-node protection changes and ownership transfers).
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
+
+  /// Runs first at every barrier, before arrival processing: the place to
+  /// replay mid-phase per-node logs in deterministic node order.
+  virtual void barrier_begin() {}
+
   virtual void barrier_arrive(NodeId n) = 0;
   virtual void barrier_master() = 0;
   virtual void barrier_release(NodeId n) = 0;
+
+  /// Runs last at every barrier, after all release work: the place to
+  /// refresh shadow copies of state that the next phase reads mid-phase.
+  virtual void barrier_finish() {}
 
   /// SUIF-style annotation: node `n` is starting the body of a new
   /// time-step iteration. Drives home migration and overdrive learning.

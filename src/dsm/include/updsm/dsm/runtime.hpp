@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "updsm/common/atomic_stat.hpp"
 #include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
 #include "updsm/dsm/config.hpp"
@@ -29,14 +31,16 @@ namespace updsm::dsm {
 
 /// Cluster-wide per-page event counters (cheap enough to keep always on):
 /// the raw material for hot-page analysis (`updsm_run --hot-pages`).
+/// Relaxed cells: concurrent nodes may fault on the same page mid-phase
+/// under the parallel gang; the increments commute.
 struct PageStats {
-  std::uint32_t read_faults = 0;
-  std::uint32_t write_faults = 0;
-  std::uint32_t mprotects = 0;
+  Relaxed<std::uint32_t> read_faults = 0;
+  Relaxed<std::uint32_t> write_faults = 0;
+  Relaxed<std::uint32_t> mprotects = 0;
 
   [[nodiscard]] std::uint64_t total() const {
-    return static_cast<std::uint64_t>(read_faults) + write_faults +
-           mprotects;
+    return static_cast<std::uint64_t>(read_faults.load()) +
+           write_faults.load() + mprotects.load();
   }
 };
 
@@ -62,6 +66,15 @@ class Runtime {
     return clocks_[check(n)];
   }
   [[nodiscard]] sim::OsModel& os(NodeId n) { return os_[check(n)]; }
+
+  /// Serializes remote-fetch service against protection upgrades on node
+  /// `n`'s frames under the parallel gang: a fetcher copies a served page
+  /// (live frame or service snapshot) under this lock, and the owner takes
+  /// it for the snapshot-create + mprotect(RW) step of its own write
+  /// faults, so a concurrent fetch never observes a torn frame.
+  [[nodiscard]] std::mutex& service_mutex(NodeId n) {
+    return *service_mu_[check(n)];
+  }
 
   [[nodiscard]] sim::Network& net() { return net_; }
   [[nodiscard]] const sim::Network& net() const { return net_; }
@@ -176,6 +189,7 @@ class Runtime {
   std::vector<std::unique_ptr<mem::PageTable>> tables_;
   std::vector<sim::VirtualClock> clocks_;
   std::vector<sim::OsModel> os_;
+  std::vector<std::unique_ptr<std::mutex>> service_mu_;
   sim::Network net_;
   ProtocolCounters counters_;
   std::unique_ptr<TraceLog> trace_;

@@ -3,52 +3,60 @@
 // Counters are cluster-wide sums (the paper reports per-run totals).
 // Network message/byte statistics live in sim::NetworkStats; time breakdowns
 // in the per-node sim::VirtualClock.
+//
+// Fields are relaxed-atomic cells (common/atomic_stat.hpp): under the
+// parallel gang, concurrent fault handlers bump the same cluster-wide
+// counters mid-phase, and integer adds commute so totals stay bit-exact in
+// any schedule. The struct keeps value semantics (snapshots, += merging).
 #pragma once
 
 #include <cstdint>
 
+#include "updsm/common/atomic_stat.hpp"
+
 namespace updsm::dsm {
 
 struct ProtocolCounters {
+  using Cell = Relaxed<std::uint64_t>;
   /// Diffs created (Table 1, "Diffs"). Includes zero-length diffs created
   /// speculatively by bar-s/bar-m only in `zero_diffs`, not here, matching
   /// the paper's accounting of real modifications.
-  std::uint64_t diffs_created = 0;
+  Cell diffs_created = 0;
   /// Speculative diffs that turned out empty (bar-s/bar-m pure overhead).
-  std::uint64_t zero_diffs = 0;
+  Cell zero_diffs = 0;
   /// Remote misses: page faults whose service required network traffic
   /// (Table 1, "Remote Misses"). lmw-u faults satisfied entirely from
   /// locally stored updates do NOT count (paper §3.3).
-  std::uint64_t remote_misses = 0;
+  Cell remote_misses = 0;
   /// All faults, including locally satisfiable ones.
-  std::uint64_t read_faults = 0;
-  std::uint64_t write_faults = 0;
+  Cell read_faults = 0;
+  Cell write_faults = 0;
   /// Twins created (including ahead-of-time twins in overdrive).
-  std::uint64_t twins_created = 0;
+  Cell twins_created = 0;
   /// Update (flush) messages carrying diffs that were sent / received /
   /// stored-for-later (lmw-u) / applied-at-barrier (bar-u).
-  std::uint64_t updates_sent = 0;
-  std::uint64_t updates_received = 0;
-  std::uint64_t updates_stored = 0;
-  std::uint64_t updates_applied = 0;
+  Cell updates_sent = 0;
+  Cell updates_received = 0;
+  Cell updates_stored = 0;
+  Cell updates_applied = 0;
   /// Updates discarded because the receiver's copy was not current.
-  std::uint64_t updates_ignored = 0;
+  Cell updates_ignored = 0;
   /// Whole pages fetched from homes (bar-*) or full fetches in sc-sw.
-  std::uint64_t pages_fetched = 0;
+  Cell pages_fetched = 0;
   /// Home reassignments performed by the runtime migration pass.
-  std::uint64_t migrations = 0;
+  Cell migrations = 0;
   /// Peak bytes of retained (not-yet-garbage-collected) diffs -- the
   /// homeless protocols' "voracious appetite for memory".
-  std::uint64_t retained_diff_bytes_peak = 0;
+  Cell retained_diff_bytes_peak = 0;
   /// Homeless-protocol garbage collections triggered.
-  std::uint64_t gc_rounds = 0;
+  Cell gc_rounds = 0;
   /// Unpredicted writes trapped during overdrive (bar-s/bar-m fallback).
-  std::uint64_t overdrive_mispredictions = 0;
+  Cell overdrive_mispredictions = 0;
   /// Pages that entered the private fast path: lmw single-writer mode /
   /// bar home-untracked mode (no per-epoch trapping while private).
-  std::uint64_t private_entries = 0;
+  Cell private_entries = 0;
   /// Private pages pulled back into normal coherence by a remote access.
-  std::uint64_t private_exits = 0;
+  Cell private_exits = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;

@@ -15,23 +15,58 @@
 //   req n<from>>n<to> <req>B <reply>B     request/reply pair
 //   flush n<from>>n<to> <bytes>B [drop]   one-way flush (drop = lost)
 //   ctl n<from>>n<to> <bytes>B            control message
+//
+// Concurrency: under the parallel gang, lines emitted mid-phase go to a
+// private per-node buffer (keyed by sim::current_exec_node(), no locking),
+// and the cluster flushes the buffers in node order at each barrier and at
+// run end. Since every mid-phase line is emitted by the acting node's own
+// thread, the flushed order -- node 0's phase events, then node 1's, ... --
+// is exactly the order the serializing baton produced, so golden traces are
+// identical across gang modes. Controller-context lines (barrier work)
+// append directly.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "updsm/sim/exec_context.hpp"
+
 namespace updsm::dsm {
 
 class TraceLog {
  public:
-  void emit(std::string line) { lines_.push_back(std::move(line)); }
+  /// `num_nodes` sizes the per-node mid-phase buffers; the default keeps
+  /// the log a plain single-threaded line vector (tests, tools).
+  explicit TraceLog(int num_nodes = 0)
+      : buffers_(static_cast<std::size_t>(num_nodes)) {}
+
+  void emit(std::string line) {
+    const int exec = sim::current_exec_node();
+    if (exec >= 0 && static_cast<std::size_t>(exec) < buffers_.size()) {
+      buffers_[static_cast<std::size_t>(exec)].push_back(std::move(line));
+    } else {
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  /// Appends each node's buffered mid-phase lines, in node order, to the
+  /// main log. Controller context only (all nodes parked).
+  void flush_node_buffers() {
+    for (auto& buf : buffers_) {
+      for (auto& line : buf) lines_.push_back(std::move(line));
+      buf.clear();
+    }
+  }
 
   [[nodiscard]] const std::vector<std::string>& lines() const {
     return lines_;
   }
   [[nodiscard]] std::size_t size() const { return lines_.size(); }
-  void clear() { lines_.clear(); }
+  void clear() {
+    lines_.clear();
+    for (auto& buf : buffers_) buf.clear();
+  }
 
   /// Joins all lines with '\n' (golden-test comparison form).
   [[nodiscard]] std::string str() const {
@@ -45,6 +80,7 @@ class TraceLog {
 
  private:
   std::vector<std::string> lines_;
+  std::vector<std::vector<std::string>> buffers_;
 };
 
 }  // namespace updsm::dsm

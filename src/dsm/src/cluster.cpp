@@ -14,13 +14,23 @@ using sim::TimeCat;
 
 /// Wire footprint of one reduction contribution / result (op + double).
 constexpr std::uint64_t kReduceWireBytes = 16;
+
+/// Parallel scheduling is opt-in per protocol: anything whose fault
+/// handlers mutate remote state mid-phase (sc-sw) keeps the baton.
+sim::GangMode effective_gang_mode(const ClusterConfig& config,
+                                  const CoherenceProtocol* protocol) {
+  if (protocol != nullptr && !protocol->parallel_safe()) {
+    return sim::GangMode::Baton;
+  }
+  return config.gang;
+}
 }  // namespace
 
 Cluster::Cluster(const ClusterConfig& config, const mem::SharedHeap& heap,
                  std::unique_ptr<CoherenceProtocol> protocol)
     : rt_(config, heap.segment_pages()),
       protocol_(std::move(protocol)),
-      gang_(config.num_nodes) {
+      gang_(config.num_nodes, effective_gang_mode(config, protocol_.get())) {
   UPDSM_REQUIRE(protocol_ != nullptr, "cluster needs a protocol");
   UPDSM_REQUIRE(heap.page_size() == config.page_size,
                 "heap page size " << heap.page_size()
@@ -31,8 +41,8 @@ Cluster::Cluster(const ClusterConfig& config, const mem::SharedHeap& heap,
   }
   const auto n = static_cast<std::size_t>(config.num_nodes);
   pending_reduce_.assign(n, PendingReduce{});
-  measurement_requested_.assign(n, false);
-  measurement_end_requested_.assign(n, false);
+  measurement_requested_.assign(n, 0);
+  measurement_end_requested_.assign(n, 0);
   iteration_count_.assign(n, 0);
   protocol_->init(rt_);
 }
@@ -48,6 +58,9 @@ void Cluster::run(const AppFn& app) {
         app(ctx);
       },
       [&](std::uint64_t index) { do_barrier(index); });
+  // Post-final-barrier node events (checksum reads etc.) are still sitting
+  // in the per-node trace buffers; append them in node order.
+  if (auto* trace = rt_.trace()) trace->flush_node_buffers();
 }
 
 sim::SimTime Cluster::elapsed() const {
@@ -161,6 +174,9 @@ std::byte* Cluster::node_touch(NodeId n, GlobalAddr addr, std::size_t len,
 
 void Cluster::do_barrier(std::uint64_t index) {
   (void)index;
+  // Merge the finished phase's buffered trace lines (node order) before any
+  // barrier-time event is emitted.
+  if (auto* trace = rt_.trace()) trace->flush_node_buffers();
   if (race_detector_) {
     auto reports = race_detector_->finish_epoch(rt_.epoch());
     for (const RaceReport& report : reports) {
@@ -174,6 +190,9 @@ void Cluster::do_barrier(std::uint64_t index) {
   const int n = rt_.num_nodes();
   const NodeId master = rt_.master();
   const auto& net_costs = rt_.costs().net;
+
+  // Replay of mid-phase deferred work (per-node logs), in node order.
+  protocol_->barrier_begin();
 
   // Phase A: every node captures its own epoch modifications. Strict node
   // order; each hook reads only its own frames and publishes diffs/flushes.
@@ -269,6 +288,9 @@ void Cluster::do_barrier(std::uint64_t index) {
   for (int i = 0; i < n; ++i) {
     protocol_->barrier_release(NodeId{static_cast<std::uint32_t>(i)});
   }
+
+  // Refresh barrier-frozen shadow state for the next phase's readers.
+  protocol_->barrier_finish();
 
   if (auto* trace = rt_.trace()) {
     trace->emit("barrier " + std::to_string(index));

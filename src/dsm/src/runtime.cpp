@@ -14,7 +14,8 @@ using sim::TimeCat;
 Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
     : config_(config),
       num_pages_(num_pages),
-      net_(config.costs.net, splitmix64(config.seed ^ 0xfeedULL)) {
+      net_(config.costs.net, splitmix64(config.seed ^ 0xfeedULL),
+           config.num_nodes) {
   UPDSM_REQUIRE(config.num_nodes >= 1 && config.num_nodes <= 64,
                 "num_nodes must be in [1, 64], got " << config.num_nodes);
   const int n = config.num_nodes;
@@ -26,7 +27,11 @@ Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
   clocks_.assign(static_cast<std::size_t>(n), sim::VirtualClock{});
   os_.assign(static_cast<std::size_t>(n),
              sim::OsModel(config.costs.os, num_pages));
-  if (config.trace) trace_ = std::make_unique<TraceLog>();
+  service_mu_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    service_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  if (config.trace) trace_ = std::make_unique<TraceLog>(n);
   page_stats_.assign(num_pages, PageStats{});
   arrival_payload_.assign(static_cast<std::size_t>(n), 0);
   release_payload_.assign(static_cast<std::size_t>(n), 0);
@@ -100,7 +105,7 @@ bool Runtime::flush(NodeId from, NodeId to, std::uint64_t bytes,
   net_.record(MsgKind::Flush, from, to, bytes);
   clock(from).advance(TimeCat::Os, net_costs.send_trap);
   os(from).count_send();
-  const bool delivered = reliable || net_.flush_delivered();
+  const bool delivered = reliable || net_.flush_delivered(to);
   if (trace_) {
     trace_->emit("flush n" + std::to_string(from.value()) + ">n" +
                  std::to_string(to.value()) + " " + std::to_string(bytes) +

@@ -2,11 +2,11 @@
 // on a fixed-size worker pool.
 //
 // Every (application, protocol, cluster) run is a pure function of its
-// configuration -- the Gang baton keeps each simulation serial and
-// bit-deterministic internally -- so whole runs can execute concurrently
-// with no shared mutable state. Results are collected by grid index, never
-// by completion order, which makes the output of every bench byte-identical
-// regardless of the worker count.
+// configuration -- the Gang keeps each simulation bit-deterministic in
+// either scheduling mode (see sim/gang.hpp) -- so whole runs can execute
+// concurrently with no shared mutable state. Results are collected by grid
+// index, never by completion order, which makes the output of every bench
+// byte-identical regardless of the worker count.
 #pragma once
 
 #include <functional>

@@ -26,9 +26,11 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "updsm/common/atomic_stat.hpp"
 #include "updsm/dsm/copyset.hpp"
 #include "updsm/dsm/protocol.hpp"
 #include "updsm/dsm/runtime.hpp"
@@ -69,9 +71,16 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   void init(dsm::Runtime& rt) override;
   void read_fault(NodeId n, PageId page) override;
   void write_fault(NodeId n, PageId page) override;
+  /// Parallel-safe (see protocol.hpp): fault-handler decisions read only
+  /// barrier-frozen state (homes, versions, copyset_frozen), page bytes are
+  /// served from snapshots/twins or under the home's service mutex, and
+  /// untracked-page retracking is deferred to barrier_master via per-node
+  /// fetch logs.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   void barrier_arrive(NodeId n) override;
   void barrier_master() override;
   void barrier_release(NodeId n) override;
+  void barrier_finish() override;
   void iteration_begin(NodeId n, std::uint64_t iteration) override;
 
   // ---- introspection (tests, benches) ------------------------------------
@@ -105,15 +114,22 @@ class BarProtocol final : public dsm::CoherenceProtocol {
     /// Scalar version index: barrier-index-plus-one of the last epoch that
     /// modified the page; 0 = initial contents.
     std::uint64_t version = 0;
-    /// Nodes caching the page (consumers), learned from fetches.
+    /// Nodes caching the page (consumers), learned from fetches
+    /// (commutative atomic adds mid-phase).
     dsm::Copyset copyset;
+    /// Barrier-frozen shadow of `copyset`, refreshed by barrier_finish().
+    /// Mid-phase *decisions* (the home-private consumer count in
+    /// write_fault) read this, never the live bitmap, so they cannot
+    /// depend on which concurrent fetch happened to land first.
+    std::uint64_t copyset_frozen = 0;
     /// All nodes whose non-empty diffs (or home trap-writes) touched the
     /// page (value-based; consumers wait only for diffs that exist).
     std::uint64_t writers_ever = 0;
     /// All nodes that ever *trapped* a write to the page (fault-based;
     /// drives home migration -- a node repeatedly writing values that
-    /// happen to be unchanged still deserves to own the page).
-    std::uint64_t fault_writers_ever = 0;
+    /// happen to be unchanged still deserves to own the page). Relaxed
+    /// atomic: note_dirty sets bits from faulting node threads mid-phase.
+    Relaxed<std::uint64_t> fault_writers_ever = 0;
     /// Home-private fast path: the home writes the page with no consumers
     /// anywhere, so it stays read-write at the home with no trapping, no
     /// version bumps and no barrier work until a consumer fetches it (the
@@ -147,6 +163,19 @@ class BarProtocol final : public dsm::CoherenceProtocol {
     std::vector<PageId> dirty_pages;            // insertion order
     dsm::TwinStore twins;
     std::vector<InboxEntry> inbox;  // update pushes received this epoch
+    /// Service snapshots of pages this node (as home) keeps ReadWrite with
+    /// no twin -- untracked home-private pages and home-effect writes. A
+    /// mid-phase fetch is served from the snapshot (or a live twin), never
+    /// from a frame the home is concurrently writing; barrier_arrive
+    /// refreshes surviving snapshots and discards dead ones. Simulator
+    /// machinery, created/refreshed uncharged under the home's service
+    /// mutex.
+    dsm::TwinStore snapshots;
+    /// Pages this node fetched during the finished epoch (appended by the
+    /// node's own thread). barrier_master merges the logs to find untracked
+    /// pages that gained a consumer -- the retrack decision the baton used
+    /// to take inline at fetch time.
+    std::vector<PageId> fetched_log;
     // --- learning state ------------------------------------------------
     std::uint64_t iteration = 0;
     /// rt.epoch() at each iteration_begin call (index = iteration number).
@@ -182,16 +211,16 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   dsm::Runtime* rt_ = nullptr;
   std::vector<NodeState> nodes_;
   /// Spent diffs (applied queued flushes, consumed inbox pushes, zero
-  /// diffs) recycled for create_into() reuse. The gang baton serializes all
-  /// protocol hooks, so one protocol-wide pool is race-free.
+  /// diffs) recycled for create_into() reuse. Touched only by the barrier
+  /// hooks, which run controller-context with every node parked, so one
+  /// protocol-wide pool is race-free in both gang modes.
   mem::DiffPool diff_pool_;
   std::vector<PageGlobal> global_;
   /// Pages touched this epoch (set at first write note; master consumes).
   std::vector<PageId> epoch_touched_;
-  /// Untracked pages that gained a consumer mid-epoch: re-enter tracking
-  /// at the next barrier (processed by barrier_master).
-  std::vector<PageId> retrack_queue_;
   std::vector<ChangeRecord> epoch_changes_;
+  /// Guards the one-shot loop-entry reset (see LmwProtocol::loop_mu_).
+  std::mutex loop_mu_;
   bool loop_entered_ = false;
   bool migration_done_ = false;
   bool od_active_ = false;

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "updsm/dsm/copyset.hpp"
@@ -41,6 +43,12 @@ class LmwProtocol final : public dsm::CoherenceProtocol {
   void init(dsm::Runtime& rt) override;
   void read_fault(NodeId n, PageId page) override;
   void write_fault(NodeId n, PageId page) override;
+  /// Parallel-safe (see protocol.hpp): fault-handler decisions read only
+  /// barrier-frozen state (`exclusive` flags, creators' diff stores, service
+  /// snapshots), mutations are node-local or commutative, and exclusivity
+  /// exits are deferred to barrier_begin().
+  [[nodiscard]] bool parallel_safe() const override { return true; }
+  void barrier_begin() override;
   void barrier_arrive(NodeId n) override;
   void barrier_master() override;
   void barrier_release(NodeId n) override;
@@ -81,6 +89,20 @@ class LmwProtocol final : public dsm::CoherenceProtocol {
     /// Pages whose non-empty diff was created at the current barrier
     /// (candidates for single-writer mode, judged at release).
     std::vector<PageId> epoch_diffed;
+    /// Service snapshots of THIS node's exclusive pages: the page contents
+    /// as of the previous barrier, refreshed at every barrier_arrive while
+    /// the page stays exclusive. Mid-phase single-writer fetches are served
+    /// from the snapshot (immutable between barriers), never from the live
+    /// frame the owner is concurrently writing -- that is what makes the
+    /// fast path parallel-safe. Invariant: snapshots.has(p) == pages[p]
+    /// .exclusive. Simulator machinery; the copy is not charged.
+    dsm::TwinStore snapshots;
+    /// Deferred-work log, appended by THIS node's thread mid-phase: one
+    /// (creator, page) entry per single-writer fast-path fetch. Replayed --
+    /// merged over all nodes, sorted, deduplicated -- by barrier_begin(),
+    /// which performs the creator-side exclusivity exit that the serializing
+    /// baton used to do inline at fetch time.
+    std::vector<std::pair<NodeId, PageId>> fast_fetches;
   };
 
   /// Ensures node n has a current copy of `page` by fetching and applying
@@ -104,6 +126,11 @@ class LmwProtocol final : public dsm::CoherenceProtocol {
   /// redistributed on release.
   dsm::NoticeList epoch_notices_;
   bool gc_requested_ = false;
+  /// Guards the one-shot loop-entry copyset reset: iteration_begin runs on
+  /// node threads mid-phase under the parallel gang, and applications call
+  /// it before any shared access of the entering epoch, so the mutex
+  /// acquire orders the reset before every add of that epoch.
+  std::mutex loop_mu_;
   bool loop_entered_ = false;
   std::uint64_t gc_rounds_ = 0;
 };

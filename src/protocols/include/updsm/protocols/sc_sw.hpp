@@ -29,6 +29,10 @@ class ScSwProtocol final : public dsm::CoherenceProtocol {
   void init(dsm::Runtime& rt) override;
   void read_fault(NodeId n, PageId page) override;
   void write_fault(NodeId n, PageId page) override;
+  // Deliberately NOT parallel-safe (keeps the base-class `false`): the
+  // fault handlers perform mid-phase ownership transfers, cross-node
+  // invalidations and protection downgrades -- eager SC semantics cannot
+  // be deferred to the barrier. The cluster runs sc-sw under the baton.
   void barrier_arrive(NodeId) override {}
   void barrier_master() override {}
   void barrier_release(NodeId) override {}

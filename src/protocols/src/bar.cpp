@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <span>
 
 #include "updsm/common/log.hpp"
 
@@ -65,10 +67,28 @@ void BarProtocol::fetch_page(NodeId n, PageId page, bool count_as_miss) {
       rt_->costs().dsm.copy_per_byte_ns * static_cast<double>(psize));
   rt_->roundtrip(n, home, MsgKind::DataRequest, 16,
                  psize + 32, serve);
-  // Install the whole page from the home's (live) frame.
-  auto src = rt_->table(home).frame(page);
-  auto dst = rt_->table(n).frame(page);
-  std::memcpy(dst.data(), src.data(), dst.size());
+  // Install the whole page as of the LAST BARRIER: from the home's service
+  // snapshot or live twin when one exists, else from the frame itself
+  // (which is then read-only at the home and immutable mid-phase). The
+  // copy runs under the home's service mutex, which closes the
+  // trap-upgrade race: a concurrent home write fault installs its
+  // twin/snapshot and write-enables the frame atomically with respect to
+  // this copy, so a torn or part-epoch read is impossible. (LRC never
+  // ordered the home's same-epoch writes before this access anyway.)
+  {
+    NodeState& hs = node(home);
+    auto dst = rt_->table(n).frame(page);
+    std::lock_guard<std::mutex> lock(rt_->service_mutex(home));
+    std::span<const std::byte> src;
+    if (hs.snapshots.has(page)) {
+      src = hs.snapshots.get(page);
+    } else if (hs.twins.has(page)) {
+      src = hs.twins.get(page);
+    } else {
+      src = rt_->table(home).frame(page);
+    }
+    std::memcpy(dst.data(), src.data(), dst.size());
+  }
   rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns, psize);
   if (count_as_miss) {
     // AIX-side VM bookkeeping on the demand-fault path (§3.2 calibration).
@@ -79,14 +99,10 @@ void BarProtocol::fetch_page(NodeId n, PageId page, bool count_as_miss) {
   rt_->mprotect(n, page, Protect::Read);
   node(n).cached_version[page.index()] = gp.version;
   gp.copyset.add(n);
-  if (gp.untracked) {
-    // A consumer appeared for a home-private page: it re-enters tracking
-    // at the next barrier (version bump + write-protect at the home), at
-    // which point this fetcher's mid-epoch copy is invalidated.
-    gp.untracked = false;
-    retrack_queue_.push_back(page);
-    ++rt_->counters().private_exits;
-  }
+  // Whether this fetch ends a home-private (untracked) page is decided by
+  // barrier_master from the merged fetch logs -- the `untracked` flag is
+  // written by the home's thread mid-phase and must not be read here.
+  node(n).fetched_log.push_back(page);
 }
 
 void BarProtocol::note_dirty(NodeId n, PageId page) {
@@ -151,8 +167,11 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
   }
 
   const NodeId home = gpage(page).home;
-  const int consumers = gpage(page).copyset.count() -
-                        (gpage(page).copyset.contains(n) ? 1 : 0);
+  // Consumer count from the barrier-frozen copyset shadow, NOT the live
+  // bitmap: concurrent fetches add members mid-phase, and this decision
+  // must be independent of their timing.
+  const int consumers = __builtin_popcountll(
+      gpage(page).copyset_frozen & ~bit(n));
   if (loop_entered_ && n == home && consumers == 0) {
     // (Gated on the loop annotation: the fast path's invariant -- every
     // valid non-home replica is in the copyset -- is established by the
@@ -163,20 +182,50 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
     // until a consumer appears.
     gpage(page).untracked = true;
     ++rt_->counters().private_entries;
+    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    if (!st.snapshots.has(page)) {
+      // Service snapshot: fetchers are served these (last-barrier) bytes
+      // while the frame is writable. A leftover snapshot from a previous
+      // tenure holds identical bytes (the frame was read-only since), so
+      // it is simply kept.
+      st.snapshots.create(page, rt_->table(n).frame(page));
+    }
     rt_->mprotect(n, page, Protect::ReadWrite);
     return;
   }
   // The home effect: the home's own writes need no diff -- unless it must
   // push updates to consumers, which requires knowing the modified bytes.
   const bool need_twin = n != home || (update_mode() && consumers > 0);
-  if (need_twin && !st.twins.has(page)) {
-    st.twins.create(page, rt_->table(n).frame(page));
-    ++rt_->counters().twins_created;
-    rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns,
-                    rt_->page_size());
+  if (n == home) {
+    // The home's twin/snapshot installation and frame write-enable must be
+    // atomic with respect to concurrent fetch_page copies (see there).
+    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    if (need_twin && !st.twins.has(page)) {
+      st.twins.create(page, rt_->table(n).frame(page));
+      ++rt_->counters().twins_created;
+      rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns,
+                      rt_->page_size());
+    } else if (!need_twin && !st.snapshots.has(page)) {
+      // Home-effect write with no consumers to update: no twin, so arm a
+      // service snapshot instead.
+      st.snapshots.create(page, rt_->table(n).frame(page));
+    }
+    rt_->mprotect(n, page, Protect::ReadWrite);
+  } else {
+    // This page's bytes are never served from here mid-phase (we are not
+    // its home), but the twin map is one container per NODE: a concurrent
+    // fetch of a *different* page homed at n walks the same hashtable
+    // under the service mutex, so this insert must hold it too.
+    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    if (need_twin && !st.twins.has(page)) {
+      st.twins.create(page, rt_->table(n).frame(page));
+      ++rt_->counters().twins_created;
+      rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns,
+                      rt_->page_size());
+    }
+    rt_->mprotect(n, page, Protect::ReadWrite);
   }
   note_dirty(n, page);
-  rt_->mprotect(n, page, Protect::ReadWrite);
 }
 
 void BarProtocol::barrier_arrive(NodeId n) {
@@ -301,16 +350,29 @@ void BarProtocol::barrier_master() {
   // Home-private pages that gained a consumer this epoch re-enter
   // tracking: the home write-protects them and publishes a version bump,
   // conservatively invalidating the mid-epoch copies the fetchers took.
-  for (const PageId page : retrack_queue_) {
+  // The per-node fetch logs are merged, sorted and deduplicated first, so
+  // the retrack set -- and everything downstream -- is independent of
+  // mid-phase fetch timing.
+  std::vector<PageId> fetched;
+  for (NodeState& st : nodes_) {
+    fetched.insert(fetched.end(), st.fetched_log.begin(),
+                   st.fetched_log.end());
+    st.fetched_log.clear();
+  }
+  std::sort(fetched.begin(), fetched.end());
+  fetched.erase(std::unique(fetched.begin(), fetched.end()), fetched.end());
+  for (const PageId page : fetched) {
     PageGlobal& gp = gpage(page);
+    if (!gp.untracked) continue;
     const NodeId home = gp.home;
+    gp.untracked = false;
+    ++rt_->counters().private_exits;
     note_writer(home, page);
     gp.home_wrote = true;
     if (rt_->table(home).prot(page) == Protect::ReadWrite) {
       rt_->mprotect(home, page, Protect::Read);
     }
   }
-  retrack_queue_.clear();
   std::sort(epoch_touched_.begin(), epoch_touched_.end());
   epoch_touched_.erase(
       std::unique(epoch_touched_.begin(), epoch_touched_.end()),
@@ -639,36 +701,75 @@ void BarProtocol::barrier_release(NodeId n) {
   }
 }
 
+void BarProtocol::barrier_finish() {
+  // Refresh the barrier-frozen copyset shadows that mid-phase decisions
+  // read: runs after all release work, with every node parked, so the next
+  // phase sees one consistent, deterministic value per page.
+  for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
+    global_[p].copyset_frozen = global_[p].copyset.bits();
+  }
+  // Service-snapshot upkeep, in node order: a snapshot must exist exactly
+  // for the pages a home keeps ReadWrite with no twin (untracked pages,
+  // bar-m home-effect pages). Refresh survivors to this barrier's frame
+  // contents -- AFTER barrier_master possibly applied queued foreign diffs
+  // to the frame -- and drop the rest.
+  for (int i = 0; i < rt_->num_nodes(); ++i) {
+    const NodeId n{static_cast<std::uint32_t>(i)};
+    NodeState& st = node(n);
+    for (const PageId page : st.snapshots.pages_sorted()) {
+      if (rt_->table(n).prot(page) == Protect::ReadWrite &&
+          !st.twins.has(page)) {
+        st.snapshots.refresh(page, rt_->table(n).frame(page));
+      } else {
+        st.snapshots.discard(page);
+      }
+    }
+  }
+}
+
 void BarProtocol::iteration_begin(NodeId n, std::uint64_t iteration) {
   NodeState& st = node(n);
   st.iteration = iteration;
   UPDSM_CHECK(st.iter_begin_epochs.size() == iteration);
   st.iter_begin_epochs.push_back(rt_->epoch().value());
 
+  if (iteration != 1) return;
   // Entry to the time-step loop: "On the first iteration of the time-step
   // loop, the copysets of each page are empty, and page faults occur"
   // (§2.2.1). Discard everything learned during initialisation -- the
   // init-phase writer (typically node 0 populating all data) must not
   // pollute migration decisions or update targeting.
-  if (iteration == 1 && !loop_entered_) {
-    loop_entered_ = true;
-    for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
-      PageGlobal& gp = global_[p];
-      gp.copyset.clear();
-      gp.writers_ever = 0;
-      gp.fault_writers_ever = 0;
-      // Invalidate every cold (non-home) replica so that "valid non-home
-      // copy implies copyset membership" holds from here on -- the
-      // invariant the home-private fast path relies on. Iteration-1 reads
-      // re-fault and re-join copysets, exactly the paper's "on the first
-      // iteration ... page faults occur".
-      for (int i = 0; i < rt_->num_nodes(); ++i) {
-        const NodeId node_id{static_cast<std::uint32_t>(i)};
-        if (node_id == gp.home) continue;
-        if (rt_->table(node_id).prot(PageId{p}) != Protect::None) {
-          rt_->mprotect(node_id, PageId{p}, Protect::None);
-        }
+  //
+  // The global reset runs once, by whichever node thread arrives first;
+  // applications call iteration_begin before any shared access of the
+  // entering epoch, so the mutex acquire in every node's call orders the
+  // reset before all copyset/writer learning of that epoch. (The frozen
+  // copyset shadows are deliberately NOT touched: they refresh at the next
+  // barrier_finish, keeping mid-phase decisions schedule-independent.)
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (!loop_entered_) {
+      loop_entered_ = true;
+      for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
+        PageGlobal& gp = global_[p];
+        gp.copyset.clear();
+        gp.writers_ever = 0;
+        gp.fault_writers_ever = 0;
       }
+    }
+  }
+  // Invalidate every cold (non-home) replica so that "valid non-home copy
+  // implies copyset membership" holds from here on -- the invariant the
+  // home-private fast path relies on. Iteration-1 reads re-fault and
+  // re-join copysets, exactly the paper's "on the first iteration ... page
+  // faults occur". Distributed: each node drops its OWN replicas, on its
+  // own thread (a node must not touch another node's page table
+  // mid-phase).
+  for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
+    const PageId page{p};
+    if (global_[p].home == n) continue;
+    if (rt_->table(n).prot(page) != Protect::None) {
+      rt_->mprotect(n, page, Protect::None);
     }
   }
 }

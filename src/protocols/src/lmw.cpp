@@ -40,9 +40,16 @@ bool LmwProtocol::validate_page(NodeId n, PageId page, bool demand) {
                           << " but has no pending write notices");
 
   // Single-writer fast path: if the newest notice's creator holds the page
-  // exclusively, its live copy supersedes every pending diff -- fetch the
-  // whole page (one request/reply pair, like a home-based miss) and end
-  // the creator's exclusivity.
+  // exclusively, fetch the whole page (one request/reply pair, like a
+  // home-based miss). The copy is served from the creator's *service
+  // snapshot* -- the page as of the previous barrier -- not its live frame:
+  // the creator may be writing the frame concurrently under the parallel
+  // gang, and LRC does not order those same-epoch writes before this
+  // access anyway. The creator-side exclusivity exit (twin, republished
+  // whole-page diff) mutates creator state and is therefore deferred to
+  // barrier_begin() via the per-node fast_fetches log; until then the
+  // `exclusive` flag stays frozen, so every same-epoch requester takes
+  // this same path and is served the same bytes.
   const NodeId newest_creator = pl.pending.back().creator;
   if (node(newest_creator).pages[page.index()].exclusive) {
     NodeState& cs = node(newest_creator);
@@ -50,7 +57,7 @@ bool LmwProtocol::validate_page(NodeId n, PageId page, bool demand) {
     rt_->roundtrip(n, newest_creator, MsgKind::DataRequest, 16, psize + 32,
                    static_cast<SimTime>(rt_->costs().dsm.copy_per_byte_ns *
                                         static_cast<double>(psize)));
-    auto src = rt_->table(newest_creator).frame(page);
+    auto src = cs.snapshots.get(page);
     auto dst = rt_->table(n).frame(page);
     std::memcpy(dst.data(), src.data(), dst.size());
     rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns, psize);
@@ -59,25 +66,11 @@ bool LmwProtocol::validate_page(NodeId n, PageId page, bool demand) {
       st.stored_updates.erase(DiffStore::Key{wn.page, wn.epoch, wn.creator});
     }
     pl.pending.clear();
-    // Creator side: exclusivity ends; writes must be trapped again, so a
-    // fresh twin snapshots the served contents (later same-epoch writes
-    // will be diffed and announced at the next barrier).
-    PageLocal& cpl = cs.pages[page.index()];
-    cpl.exclusive = false;
-    if (demand) cpl.copyset.add(n);
-    cs.twins.create(page, rt_->table(newest_creator).frame(page));
-    rt_->charge_dsm(newest_creator, 0, rt_->costs().dsm.copy_per_byte_ns,
-                    psize, /*sigio=*/true);
-    ++rt_->counters().twins_created;
-    // The silent modifications accumulated during single-writer mode were
-    // never diffed; republish the creator's newest diff id as a whole-page
-    // diff so that OTHER nodes still holding the old notice reconstruct
-    // the current contents rather than the pre-exclusivity state.
-    cs.created.put(
-        DiffStore::Key{page, cpl.last_notice_epoch, newest_creator},
-        mem::Diff::full_page(rt_->table(newest_creator).frame(page)));
+    // Copyset learning happens at fetch time (commutative atomic add); the
+    // rest of the creator-side exit replays at the next barrier.
+    if (demand) cs.pages[page.index()].copyset.add(n);
+    st.fast_fetches.emplace_back(newest_creator, page);
     ++rt_->counters().pages_fetched;
-    ++rt_->counters().private_exits;
     if (demand) ++rt_->counters().remote_misses;
     return true;
   }
@@ -173,10 +166,60 @@ void LmwProtocol::write_fault(NodeId n, PageId page) {
   rt_->mprotect(n, page, Protect::ReadWrite);
 }
 
+void LmwProtocol::barrier_begin() {
+  // Replay the phase's single-writer fast-path fetches: the creator-side
+  // exclusivity exits that the serializing baton performed inline at fetch
+  // time. Entries are merged over all nodes, sorted and deduplicated, so
+  // the replay order -- and hence every downstream effect -- is independent
+  // of mid-phase scheduling. Several nodes may have fetched the same
+  // exclusive page in one phase; the exit happens once.
+  std::vector<std::pair<NodeId, PageId>> exits;
+  for (NodeState& st : nodes_) {
+    exits.insert(exits.end(), st.fast_fetches.begin(), st.fast_fetches.end());
+    st.fast_fetches.clear();
+  }
+  if (exits.empty()) return;
+  std::sort(exits.begin(), exits.end());
+  exits.erase(std::unique(exits.begin(), exits.end()), exits.end());
+
+  for (const auto& [creator, page] : exits) {
+    NodeState& cs = node(creator);
+    PageLocal& cpl = cs.pages[page.index()];
+    UPDSM_CHECK_MSG(cpl.exclusive, "fast-path fetch logged for page "
+                                       << page << " but creator " << creator
+                                       << " is not exclusive");
+    cpl.exclusive = false;
+    // Writes must be trapped again next epoch; the twin snapshots the
+    // *served* contents (the previous-barrier snapshot), so the diff taken
+    // at this barrier's arrival captures every silent single-writer write
+    // of the finished epoch and announces it with a fresh notice.
+    const auto snapshot = cs.snapshots.get(page);
+    cs.twins.create(page, snapshot);
+    rt_->charge_dsm(creator, 0, rt_->costs().dsm.copy_per_byte_ns,
+                    rt_->page_size(), /*sigio=*/true);
+    ++rt_->counters().twins_created;
+    // The silent modifications accumulated during single-writer mode were
+    // never diffed; republish the creator's newest diff id as a whole-page
+    // diff so that OTHER nodes still holding the old notice reconstruct
+    // the served contents rather than the pre-exclusivity state.
+    cs.created.put(DiffStore::Key{page, cpl.last_notice_epoch, creator},
+                   mem::Diff::full_page(snapshot));
+    ++rt_->counters().private_exits;
+    cs.snapshots.discard(page);
+  }
+}
+
 void LmwProtocol::barrier_arrive(NodeId n) {
   NodeState& st = node(n);
   const EpochId epoch = rt_->epoch();
   const auto& dsm_costs = rt_->costs().dsm;
+
+  // Re-snapshot still-exclusive pages: the frame now holds the epoch's
+  // silent writes, and the snapshot must track the page barrier-to-barrier
+  // so next epoch's fast-path fetches serve current (barrier-frozen) data.
+  for (const PageId page : st.snapshots.pages_sorted()) {
+    st.snapshots.refresh(page, rt_->table(n).frame(page));
+  }
 
   for (const PageId page : st.twins.pages_sorted()) {
     Diff diff = st.created.take_scratch();
@@ -242,7 +285,7 @@ void LmwProtocol::barrier_master() {
   const std::uint64_t retained = retained_diff_bytes();
   auto& counters = rt_->counters();
   counters.retained_diff_bytes_peak =
-      std::max(counters.retained_diff_bytes_peak, retained);
+      std::max<std::uint64_t>(counters.retained_diff_bytes_peak, retained);
   const std::uint64_t threshold = rt_->config().lmw_gc_threshold_bytes;
   gc_requested_ = threshold != 0 && retained > threshold;
 
@@ -298,6 +341,9 @@ void LmwProtocol::barrier_release(NodeId n) {
     UPDSM_CHECK(rt_->table(n).prot(page) == Protect::Read);
     pl.exclusive = true;
     rt_->mprotect(n, page, Protect::ReadWrite);
+    // Arm the service snapshot: mid-phase fetches of this page are served
+    // from it, never from the live frame (parallel-gang safety).
+    st.snapshots.create(page, rt_->table(n).frame(page));
     ++rt_->counters().private_entries;
   }
   st.epoch_diffed.clear();
@@ -318,11 +364,17 @@ void LmwProtocol::iteration_begin(NodeId /*n*/, std::uint64_t iteration) {
   // broadcast (every node requesting node 0's initialisation diffs) does
   // not leave every page's copyset saturated (§2.1.2: copysets reflect the
   // *loop's* stable sharing pattern, learned during its first iteration).
-  if (iteration == 1 && !loop_entered_) {
-    loop_entered_ = true;
-    for (NodeState& st : nodes_) {
-      for (PageLocal& pl : st.pages) pl.copyset.clear();
-    }
+  if (iteration != 1) return;
+  // One-shot global reset, performed by whichever node thread arrives
+  // first. Applications call iteration_begin before any shared access of
+  // the entering epoch, so the mutex acquire in every other node's call
+  // orders this reset before all copyset adds of that epoch -- the same
+  // clear-then-learn order the serializing baton produced.
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  if (loop_entered_) return;
+  loop_entered_ = true;
+  for (NodeState& st : nodes_) {
+    for (PageLocal& pl : st.pages) pl.copyset.clear();
   }
 }
 

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstddef>
 
+#include "updsm/common/atomic_stat.hpp"
 #include "updsm/common/error.hpp"
 #include "updsm/sim/time.hpp"
 
@@ -46,9 +47,15 @@ inline constexpr std::size_t kTimeCatCount = 5;
 }
 
 /// Accumulated virtual time of one node, split by category.
+///
+/// Cells are relaxed atomics because the sigio model (above) lets a
+/// *remote* node's thread charge service time to this clock mid-phase under
+/// the parallel gang; time adds commute, so totals are schedule-independent.
+/// advance_to() and reads are barrier/self-context operations.
 class VirtualClock {
  public:
-  /// Advances the clock by `dt >= 0`, attributing it to `cat`.
+  /// Advances the clock by `dt >= 0`, attributing it to `cat`. Safe to call
+  /// from any thread (commutative relaxed adds).
   void advance(TimeCat cat, SimTime dt) {
     UPDSM_CHECK_MSG(dt >= 0, "negative time advance " << dt);
     now_ += dt;
@@ -57,9 +64,11 @@ class VirtualClock {
 
   /// Advances the clock to absolute time `t` if `t` is in the future,
   /// attributing the gap to `cat` (used for barrier wait time). No-op if
-  /// the clock is already past `t`.
+  /// the clock is already past `t`. Not atomic: callers run it only where
+  /// no concurrent advance exists (the owning node's thread or a barrier).
   void advance_to(TimeCat cat, SimTime t) {
-    if (t > now_) advance(cat, t - now_);
+    const SimTime now = now_;
+    if (t > now) advance(cat, t - now);
   }
 
   [[nodiscard]] SimTime now() const { return now_; }
@@ -73,12 +82,14 @@ class VirtualClock {
   void reset_breakdown() { by_cat_ = {}; }
 
   [[nodiscard]] std::array<SimTime, kTimeCatCount> breakdown() const {
-    return by_cat_;
+    std::array<SimTime, kTimeCatCount> out{};
+    for (std::size_t i = 0; i < kTimeCatCount; ++i) out[i] = by_cat_[i];
+    return out;
   }
 
  private:
-  SimTime now_ = 0;
-  std::array<SimTime, kTimeCatCount> by_cat_{};
+  Relaxed<SimTime> now_ = 0;
+  std::array<Relaxed<SimTime>, kTimeCatCount> by_cat_{};
 };
 
 }  // namespace updsm::sim

@@ -1,0 +1,27 @@
+// Thread-local identity of the simulated node running on this OS thread.
+//
+// The gang scheduler stamps each worker thread with its node id before the
+// node function runs (in both baton and parallel modes); every other thread
+// -- the controller that executes barrier callbacks, test main threads,
+// harness grid workers -- reports kControllerContext. Shared simulator
+// facilities (Network stat shards, TraceLog buffers) key their per-node
+// storage off this value so call sites need no explicit node argument and
+// cannot pick the wrong shard.
+#pragma once
+
+namespace updsm::sim {
+
+/// Reported by current_exec_node() on any thread that is not a gang node
+/// worker (controller, tests, harness workers).
+inline constexpr int kControllerContext = -1;
+
+/// The simulated node whose code is executing on the calling OS thread, or
+/// kControllerContext outside node functions.
+[[nodiscard]] int current_exec_node();
+
+namespace detail {
+/// Set by Gang worker threads; pass kControllerContext to clear.
+void set_exec_node(int node);
+}  // namespace detail
+
+}  // namespace updsm::sim

@@ -1,13 +1,25 @@
-// Deterministic cooperative scheduler for simulated DSM nodes.
+// Deterministic gang scheduler for simulated DSM nodes.
 //
-// Each simulated node runs its application function on a dedicated
-// std::thread, but a baton protocol admits exactly ONE runnable thread at a
-// time and hands control over only at barriers (or node exit). Rounds are
-// strictly ordered 0..n-1, so every run is bit-deterministic and free of
-// data races by construction -- no atomics or locks are needed anywhere in
-// protocol or application code.
+// Each simulated node runs its application function on a dedicated worker
+// thread from a pool that persists for the Gang's lifetime (created once in
+// the constructor, reused across run() calls). Two scheduling modes:
 //
-// This is sound for the protocols under study because they are all
+//  - GangMode::Baton (constructor default): a baton protocol admits exactly
+//    ONE runnable thread at a time and hands control over only at barriers
+//    (or node exit). Rounds are strictly ordered 0..n-1, so every run is
+//    bit-deterministic and free of data races by construction -- no atomics
+//    or locks are needed anywhere in protocol or application code.
+//
+//  - GangMode::Parallel: between barriers ALL ready nodes run concurrently;
+//    the controller still runs barrier callbacks alone, with every node
+//    parked. Determinism is preserved by the DSM layer's discipline, not by
+//    scheduling: mid-phase code may only (a) read state frozen at the
+//    previous barrier, (b) perform commutative accounting (relaxed atomic
+//    adds), or (c) append to its own per-node logs, which the barrier
+//    callback merges in node order. See docs/SIMULATION.md ("Execution
+//    model") for the full argument.
+//
+// Both modes are sound for the protocols under study because they are all
 // barrier-synchronous (paper §2.2.1 restricts to barrier-only codes): any
 // mid-epoch remote request is serviced against protocol state that was
 // *published at the previous barrier* and is therefore frozen while other
@@ -16,12 +28,13 @@
 // thread while every node is parked.
 //
 // Lifecycle:
-//   Gang gang(8);
+//   Gang gang(8, GangMode::Parallel);
 //   gang.run(node_fn /* void(int node) */,
 //            barrier_cb /* void(uint64_t barrier_index) */);
 // node_fn calls gang.barrier_wait(node) at each application barrier.
 // All nodes must execute identical barrier sequences; a node exiting while
-// another still synchronizes is reported as UsageError.
+// another still synchronizes is reported as UsageError. Worker threads are
+// stamped with their node id (sim::current_exec_node()) in both modes.
 #pragma once
 
 #include <condition_variable>
@@ -36,29 +49,44 @@
 
 namespace updsm::sim {
 
+enum class GangMode {
+  Baton,     ///< one runnable node at a time, strict 0..n-1 round order
+  Parallel,  ///< all ready nodes run concurrently between barriers
+};
+
+[[nodiscard]] const char* to_string(GangMode mode);
+
 class Gang {
  public:
   using NodeFn = std::function<void(int)>;
   using BarrierFn = std::function<void(std::uint64_t)>;
 
-  explicit Gang(int num_nodes);
+  /// Spawns the persistent worker pool (one thread per node). Baton is the
+  /// default so that plain `Gang g(n)` keeps the historical serialized
+  /// semantics; callers opt into concurrency explicitly.
+  explicit Gang(int num_nodes, GangMode mode = GangMode::Baton);
+  ~Gang();
 
   Gang(const Gang&) = delete;
   Gang& operator=(const Gang&) = delete;
 
   /// Runs `node_fn(i)` for every node to completion, invoking
-  /// `barrier_cb(k)` on the controller thread at the k-th global barrier.
-  /// Rethrows the first exception raised by any node or by the callback.
+  /// `barrier_cb(k)` on the controller thread (the caller) at the k-th
+  /// global barrier. Rethrows the first exception raised by any node or by
+  /// the callback. May be called repeatedly; the pool is reused.
   void run(const NodeFn& node_fn, const BarrierFn& barrier_cb);
 
   /// Called from inside node_fn: parks this node at the global barrier and
-  /// returns once the barrier callback has completed and it is this node's
-  /// turn again.
+  /// returns once the barrier callback has completed and this node may run
+  /// again (its baton turn, or the next phase in parallel mode).
   void barrier_wait(int node);
 
   [[nodiscard]] int size() const { return static_cast<int>(state_.size()); }
 
-  /// Number of barriers completed so far (valid during and after run()).
+  [[nodiscard]] GangMode mode() const { return mode_; }
+
+  /// Number of barriers completed so far (valid during and after run();
+  /// accumulates across run() calls).
   [[nodiscard]] std::uint64_t barriers_completed() const { return barriers_; }
 
  private:
@@ -68,15 +96,35 @@ class Gang {
   /// Thrown into parked node threads when the gang shuts down on error.
   struct Shutdown {};
 
+  void worker_main(int node);
+
   // All private methods require mu_ held.
   void advance_baton_locked(int after);
   [[nodiscard]] bool all_done_locked() const;
   void fail_locked(std::exception_ptr error);
+  void node_retired_locked(int node);
+
+  const GangMode mode_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<NodeState> state_;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off: run() bumps job_epoch_; each parked worker picks the job
+  // up once and reports back via active_workers_.
+  std::uint64_t job_epoch_ = 0;
+  int active_workers_ = 0;
+  const NodeFn* node_fn_ = nullptr;
+  bool destroy_ = false;
+
+  // Baton mode: whose turn it is (kController between phases).
   int turn_ = 0;
+  // Parallel mode: nodes still running the current phase, and the phase
+  // generation counter nodes wait on at barriers.
+  int running_ = 0;
+  std::uint64_t phase_epoch_ = 0;
+
   bool shutdown_ = false;
   std::exception_ptr first_error_;
   std::uint64_t barriers_ = 0;

@@ -11,10 +11,20 @@
 //    so replies are recorded with `counts_in_table = false`;
 //  * a flush/update is a single unreliable message (no ack, droppable);
 //  * barrier arrivals and releases are synchronization messages and count.
+//
+// Concurrency (parallel gang): accounting is sharded per executing thread.
+// record() writes to the shard of sim::current_exec_node() (one private
+// shard per node, plus one for the controller), so concurrent mid-phase
+// node code never touches a shared counter. stats() sums the shards into a
+// cached aggregate; because every field is a sum, the merged result is
+// identical whatever order the nodes ran in. stats()/reset_stats() must be
+// called only while no node is mid-phase (controller context: barriers,
+// before/after runs) -- exactly where all existing callers sit.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "updsm/common/rng.hpp"
 #include "updsm/common/types.hpp"
@@ -89,30 +99,53 @@ struct NetworkStats {
 /// The cluster-wide interconnect.
 class Network {
  public:
-  Network(const NetworkCosts& costs, std::uint64_t drop_seed);
+  /// `num_nodes` sizes the per-thread stat shards; accounting from node i
+  /// lands in shard i+1, everything else (controller, tests) in shard 0.
+  Network(const NetworkCosts& costs, std::uint64_t drop_seed,
+          int num_nodes = 1);
 
   /// Records one message of `kind` with `payload_bytes` of payload and
   /// returns its one-way wire time. Self-sends (from == to) are free and
-  /// unrecorded: a node never talks to itself over the switch.
+  /// unrecorded: a node never talks to itself over the switch. Thread-safe
+  /// under the parallel gang: writes only the calling thread's shard.
   SimTime record(MsgKind kind, NodeId from, NodeId to,
                  std::uint64_t payload_bytes);
 
-  /// Decides the fate of one unreliable flush. Deterministic given the seed.
-  [[nodiscard]] bool flush_delivered();
+  /// Decides the fate of one unreliable flush to `to`. Deterministic given
+  /// the seed AND independent of node scheduling order: each destination
+  /// owns a private RNG stream seeded
+  ///   splitmix64(drop_seed ^ splitmix64(dest + 1)),
+  /// so the k-th flush arriving at a destination gets the k-th draw of that
+  /// destination's stream no matter which nodes sent the other flushes or
+  /// in which order other destinations were hit. (All flushes today are
+  /// issued from the barrier's node-ordered loops, so the per-destination
+  /// arrival sequence itself is deterministic.)
+  [[nodiscard]] bool flush_delivered(NodeId to = NodeId{0});
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Sums the per-thread shards. Controller context only (no node mid-phase).
+  [[nodiscard]] const NetworkStats& stats() const;
   [[nodiscard]] const NetworkCosts& costs() const { return costs_; }
 
-  std::uint64_t dropped_flushes() const { return dropped_flushes_; }
+  std::uint64_t dropped_flushes() const;
 
   /// Clears statistics at the start of the measurement window.
+  /// Controller context only.
   void reset_stats();
 
  private:
+  /// One cache line per shard so concurrent nodes never false-share.
+  struct alignas(64) Shard {
+    NetworkStats stats;
+    std::uint64_t dropped_flushes = 0;
+  };
+
+  [[nodiscard]] Shard& my_shard();
+
   NetworkCosts costs_;
-  NetworkStats stats_;
-  Xoshiro256 drop_rng_;
-  std::uint64_t dropped_flushes_ = 0;
+  std::vector<Shard> shards_;          // [0]=controller, [i+1]=node i
+  std::vector<Xoshiro256> drop_rngs_;  // one stream per destination
+  std::uint64_t drop_seed_;
+  mutable NetworkStats merged_;  // scratch for stats(); controller-only
 };
 
 }  // namespace updsm::sim

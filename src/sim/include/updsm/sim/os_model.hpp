@@ -11,18 +11,22 @@
 
 #include <cstdint>
 
+#include "updsm/common/atomic_stat.hpp"
 #include "updsm/common/types.hpp"
 #include "updsm/sim/cost_model.hpp"
 #include "updsm/sim/time.hpp"
 
 namespace updsm::sim {
 
-/// Event counters for one node's OS interactions.
+/// Event counters for one node's OS interactions. Relaxed-atomic cells:
+/// under the parallel gang a remote requester's thread counts the send/recv
+/// pair of the service it charged to this node (the sigio model), racing
+/// with the node's own counting; the adds commute.
 struct OsCounters {
-  std::uint64_t segvs = 0;
-  std::uint64_t mprotects = 0;
-  std::uint64_t sends = 0;
-  std::uint64_t recvs = 0;
+  Relaxed<std::uint64_t> segvs = 0;
+  Relaxed<std::uint64_t> mprotects = 0;
+  Relaxed<std::uint64_t> sends = 0;
+  Relaxed<std::uint64_t> recvs = 0;
 
   OsCounters& operator+=(const OsCounters& o) {
     segvs += o.segvs;

@@ -1,0 +1,15 @@
+#include "updsm/sim/exec_context.hpp"
+
+namespace updsm::sim {
+
+namespace {
+thread_local int tls_exec_node = kControllerContext;
+}  // namespace
+
+int current_exec_node() { return tls_exec_node; }
+
+namespace detail {
+void set_exec_node(int node) { tls_exec_node = node; }
+}  // namespace detail
+
+}  // namespace updsm::sim

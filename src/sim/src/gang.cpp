@@ -1,11 +1,30 @@
 #include "updsm/sim/gang.hpp"
 
+#include "updsm/sim/exec_context.hpp"
+
 namespace updsm::sim {
 
-Gang::Gang(int num_nodes) {
+const char* to_string(GangMode mode) {
+  return mode == GangMode::Baton ? "baton" : "parallel";
+}
+
+Gang::Gang(int num_nodes, GangMode mode) : mode_(mode) {
   UPDSM_REQUIRE(num_nodes >= 1, "gang needs at least one node, got "
                                     << num_nodes);
-  state_.assign(static_cast<std::size_t>(num_nodes), NodeState::Ready);
+  state_.assign(static_cast<std::size_t>(num_nodes), NodeState::Done);
+  workers_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Gang::~Gang() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    destroy_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
 }
 
 void Gang::advance_baton_locked(int after) {
@@ -33,83 +52,142 @@ void Gang::fail_locked(std::exception_ptr error) {
   cv_.notify_all();
 }
 
+void Gang::node_retired_locked(int node) {
+  if (mode_ == GangMode::Baton) {
+    advance_baton_locked(node);
+  } else {
+    if (--running_ == 0) cv_.notify_all();
+  }
+}
+
 void Gang::barrier_wait(int node) {
   std::unique_lock<std::mutex> lock(mu_);
-  UPDSM_CHECK_MSG(turn_ == node,
-                  "barrier_wait(" << node << ") called out of turn (turn="
-                                  << turn_ << ")");
-  state_[static_cast<std::size_t>(node)] = NodeState::AtBarrier;
-  advance_baton_locked(node);
-  cv_.wait(lock, [&] { return shutdown_ || turn_ == node; });
+  if (mode_ == GangMode::Baton) {
+    UPDSM_CHECK_MSG(turn_ == node,
+                    "barrier_wait(" << node << ") called out of turn (turn="
+                                    << turn_ << ")");
+    state_[static_cast<std::size_t>(node)] = NodeState::AtBarrier;
+    advance_baton_locked(node);
+    cv_.wait(lock, [&] { return shutdown_ || turn_ == node; });
+  } else {
+    const std::uint64_t phase = phase_epoch_;
+    state_[static_cast<std::size_t>(node)] = NodeState::AtBarrier;
+    if (--running_ == 0) cv_.notify_all();
+    cv_.wait(lock, [&] { return shutdown_ || phase_epoch_ != phase; });
+  }
   if (shutdown_) throw Shutdown{};
 }
 
-void Gang::run(const NodeFn& node_fn, const BarrierFn& barrier_cb) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size()));
+void Gang::worker_main(int node) {
+  detail::set_exec_node(node);
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_job = 0;
+  for (;;) {
+    cv_.wait(lock, [&] { return destroy_ || job_epoch_ > seen_job; });
+    if (destroy_) return;
+    seen_job = job_epoch_;
 
-  for (int i = 0; i < size(); ++i) {
-    threads.emplace_back([this, i, &node_fn] {
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return shutdown_ || turn_ == i; });
-        if (shutdown_) return;
-      }
-      try {
-        node_fn(i);
-        std::unique_lock<std::mutex> lock(mu_);
-        state_[static_cast<std::size_t>(i)] = NodeState::Done;
-        advance_baton_locked(i);
-      } catch (const Shutdown&) {
-        // Torn down by another node's failure; nothing to record.
-      } catch (...) {
-        std::unique_lock<std::mutex> lock(mu_);
-        state_[static_cast<std::size_t>(i)] = NodeState::Done;
-        fail_locked(std::current_exception());
-      }
-    });
-  }
+    bool run_it = true;
+    if (mode_ == GangMode::Baton) {
+      // Historical semantics: a node's function does not start until the
+      // baton first reaches it, so phase 0 also runs in strict node order.
+      cv_.wait(lock, [&] { return shutdown_ || turn_ == node; });
+      if (shutdown_) run_it = false;
+    } else if (shutdown_) {
+      run_it = false;  // another node failed before this one started
+    }
 
-  // Controller loop: runs barrier callbacks while all live nodes are parked.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      cv_.wait(lock, [&] { return shutdown_ || turn_ == kController; });
-      if (shutdown_) break;
-      if (all_done_locked()) break;
-
-      // Every non-done node must be at the barrier; a mix of Done and
-      // AtBarrier means the application's barrier counts diverged.
-      bool any_done = false;
-      for (const NodeState s : state_) {
-        if (s == NodeState::Done) any_done = true;
-      }
-      if (any_done) {
-        fail_locked(std::make_exception_ptr(UsageError(
-            "a node exited while other nodes are still waiting at a "
-            "barrier (mismatched barrier counts)")));
-        break;
-      }
-
-      const std::uint64_t index = barriers_;
+    if (run_it) {
+      const NodeFn& fn = *node_fn_;
       lock.unlock();
       try {
-        barrier_cb(index);
+        fn(node);
+        lock.lock();
+        state_[static_cast<std::size_t>(node)] = NodeState::Done;
+        node_retired_locked(node);
+      } catch (const Shutdown&) {
+        // Torn down by another node's failure; nothing to record.
+        lock.lock();
       } catch (...) {
         lock.lock();
+        state_[static_cast<std::size_t>(node)] = NodeState::Done;
         fail_locked(std::current_exception());
-        break;
       }
+    }
+    --active_workers_;
+    cv_.notify_all();
+  }
+}
+
+void Gang::run(const NodeFn& node_fn, const BarrierFn& barrier_cb) {
+  std::unique_lock<std::mutex> lock(mu_);
+  UPDSM_CHECK_MSG(active_workers_ == 0, "Gang::run is not reentrant");
+
+  // Arm a fresh job for the pool.
+  for (NodeState& s : state_) s = NodeState::Ready;
+  node_fn_ = &node_fn;
+  shutdown_ = false;
+  first_error_ = nullptr;
+  turn_ = 0;
+  running_ = size();
+  active_workers_ = size();
+  ++job_epoch_;
+  cv_.notify_all();
+
+  // Controller loop: runs barrier callbacks while all live nodes are parked.
+  for (;;) {
+    if (mode_ == GangMode::Baton) {
+      cv_.wait(lock, [&] { return shutdown_ || turn_ == kController; });
+    } else {
+      cv_.wait(lock, [&] { return shutdown_ || running_ == 0; });
+    }
+    if (shutdown_) break;
+    if (all_done_locked()) break;
+
+    // Every non-done node must be at the barrier; a mix of Done and
+    // AtBarrier means the application's barrier counts diverged.
+    bool any_done = false;
+    for (const NodeState s : state_) {
+      if (s == NodeState::Done) any_done = true;
+    }
+    if (any_done) {
+      fail_locked(std::make_exception_ptr(UsageError(
+          "a node exited while other nodes are still waiting at a "
+          "barrier (mismatched barrier counts)")));
+      break;
+    }
+
+    const std::uint64_t index = barriers_;
+    lock.unlock();
+    try {
+      barrier_cb(index);
+    } catch (...) {
       lock.lock();
-      ++barriers_;
-      for (NodeState& s : state_) {
-        if (s == NodeState::AtBarrier) s = NodeState::Ready;
+      fail_locked(std::current_exception());
+      break;
+    }
+    lock.lock();
+    ++barriers_;
+    int released = 0;
+    for (NodeState& s : state_) {
+      if (s == NodeState::AtBarrier) {
+        s = NodeState::Ready;
+        ++released;
       }
+    }
+    if (mode_ == GangMode::Baton) {
       advance_baton_locked(kController);
+    } else {
+      running_ = released;
+      ++phase_epoch_;
+      cv_.notify_all();
     }
   }
 
-  for (std::thread& t : threads) t.join();
+  // Wait for every worker to finish (or abandon) this job before returning,
+  // so the pool is quiescent for the next run() and errors are complete.
+  cv_.wait(lock, [&] { return active_workers_ == 0; });
+  node_fn_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

@@ -1,31 +1,68 @@
 #include "updsm/sim/network.hpp"
 
 #include "updsm/common/error.hpp"
+#include "updsm/sim/exec_context.hpp"
 
 namespace updsm::sim {
 
-Network::Network(const NetworkCosts& costs, std::uint64_t drop_seed)
-    : costs_(costs), drop_rng_(drop_seed) {}
+Network::Network(const NetworkCosts& costs, std::uint64_t drop_seed,
+                 int num_nodes)
+    : costs_(costs), drop_seed_(drop_seed) {
+  UPDSM_REQUIRE(num_nodes >= 1,
+                "network needs at least one node, got " << num_nodes);
+  shards_.resize(static_cast<std::size_t>(num_nodes) + 1);
+  drop_rngs_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int d = 0; d < num_nodes; ++d) {
+    drop_rngs_.emplace_back(
+        splitmix64(drop_seed ^ splitmix64(static_cast<std::uint64_t>(d) + 1)));
+  }
+}
+
+Network::Shard& Network::my_shard() {
+  const int exec = current_exec_node();
+  const std::size_t idx =
+      exec >= 0 && static_cast<std::size_t>(exec) + 1 < shards_.size()
+          ? static_cast<std::size_t>(exec) + 1
+          : 0;
+  return shards_[idx];
+}
 
 SimTime Network::record(MsgKind kind, NodeId from, NodeId to,
                         std::uint64_t payload_bytes) {
   if (from == to) return 0;
-  auto& counter = stats_.by_kind[static_cast<std::size_t>(kind)];
+  auto& counter = my_shard().stats.by_kind[static_cast<std::size_t>(kind)];
   ++counter.count;
   counter.bytes += payload_bytes + costs_.header_bytes;
   return costs_.wire_time(payload_bytes);
 }
 
-bool Network::flush_delivered() {
+bool Network::flush_delivered(NodeId to) {
   if (costs_.flush_drop_rate <= 0.0) return true;
-  const bool delivered = drop_rng_.uniform() >= costs_.flush_drop_rate;
-  if (!delivered) ++dropped_flushes_;
+  auto& rng = drop_rngs_[to.value() % drop_rngs_.size()];
+  const bool delivered = rng.uniform() >= costs_.flush_drop_rate;
+  if (!delivered) ++my_shard().dropped_flushes;
   return delivered;
 }
 
+const NetworkStats& Network::stats() const {
+  merged_ = NetworkStats{};
+  for (const Shard& shard : shards_) {
+    for (std::size_t k = 0; k < kMsgKindCount; ++k) {
+      merged_.by_kind[k].count += shard.stats.by_kind[k].count;
+      merged_.by_kind[k].bytes += shard.stats.by_kind[k].bytes;
+    }
+  }
+  return merged_;
+}
+
+std::uint64_t Network::dropped_flushes() const {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) sum += shard.dropped_flushes;
+  return sum;
+}
+
 void Network::reset_stats() {
-  stats_ = NetworkStats{};
-  dropped_flushes_ = 0;
+  for (Shard& shard : shards_) shard = Shard{};
 }
 
 }  // namespace updsm::sim

@@ -1,7 +1,12 @@
 // Tests for the deterministic gang scheduler: strict node ordering, barrier
-// callback sequencing, error propagation and misuse detection.
+// callback sequencing, error propagation and misuse detection -- plus the
+// parallel mode's contracts (concurrent phase admission, callback isolation,
+// pool reuse, and the same misuse/error behaviour as the baton).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "updsm/sim/gang.hpp"
@@ -132,6 +137,129 @@ TEST(GangTest, ManyNodesManyRounds) {
       [](std::uint64_t) {});
   for (const int c : counts) EXPECT_EQ(c, 50);
   EXPECT_EQ(gang.barriers_completed(), 50u);
+}
+
+// --- parallel mode ----------------------------------------------------------
+
+TEST(GangParallelTest, AllNodesRunConcurrentlyWithinAPhase) {
+  // A rendezvous that only completes if every node is admitted to the phase
+  // at once: each node arrives and then waits for the others *without*
+  // reaching the gang barrier. Under the baton (one runnable node at a
+  // time) this would deadlock; in parallel mode it must finish.
+  Gang gang(4, GangMode::Parallel);
+  ASSERT_EQ(gang.mode(), GangMode::Parallel);
+  std::atomic<int> arrived{0};
+  gang.run(
+      [&](int node) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 4) std::this_thread::yield();
+        gang.barrier_wait(node);
+      },
+      [](std::uint64_t) {});
+  EXPECT_EQ(arrived.load(), 4);
+  EXPECT_EQ(gang.barriers_completed(), 1u);
+}
+
+TEST(GangParallelTest, BarrierCallbackRunsAloneBetweenPhases) {
+  // Nodes log concurrently (under a test-local mutex); the callback logs
+  // from the controller. Within a phase the node order is arbitrary, but
+  // every phase-1 entry must precede b0 and every phase-2 entry follow it.
+  Gang gang(3, GangMode::Parallel);
+  std::mutex mu;
+  std::vector<std::string> log;
+  auto emit = [&](std::string s) {
+    std::lock_guard<std::mutex> lock(mu);
+    log.push_back(std::move(s));
+  };
+  gang.run(
+      [&](int node) {
+        emit("n" + std::to_string(node));
+        gang.barrier_wait(node);
+        emit("n" + std::to_string(node) + "'");
+      },
+      [&](std::uint64_t index) { emit("b" + std::to_string(index)); });
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log[3], "b0");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[i].size(), 2u) << log[i];  // "nK": phase 1
+    EXPECT_EQ(log[i + 4].size(), 3u) << log[i + 4];  // "nK'": phase 2
+  }
+}
+
+TEST(GangParallelTest, ReusesPoolAcrossRuns) {
+  Gang gang(4, GangMode::Parallel);
+  for (int round = 1; round <= 3; ++round) {
+    std::atomic<int> visits{0};
+    gang.run(
+        [&](int node) {
+          visits.fetch_add(1);
+          gang.barrier_wait(node);
+          visits.fetch_add(1);
+        },
+        [](std::uint64_t) {});
+    EXPECT_EQ(visits.load(), 8);
+    EXPECT_EQ(gang.barriers_completed(), static_cast<std::uint64_t>(round));
+  }
+}
+
+TEST(GangParallelTest, NodeExceptionPropagates) {
+  Gang gang(4, GangMode::Parallel);
+  EXPECT_THROW(
+      gang.run(
+          [&](int node) {
+            gang.barrier_wait(node);
+            if (node == 2) throw std::runtime_error("node 2 died");
+            gang.barrier_wait(node);
+          },
+          [](std::uint64_t) {}),
+      std::runtime_error);
+}
+
+TEST(GangParallelTest, MismatchedBarrierCountsDetected) {
+  Gang gang(3, GangMode::Parallel);
+  EXPECT_THROW(gang.run(
+                   [&](int node) {
+                     gang.barrier_wait(node);
+                     if (node != 0) gang.barrier_wait(node);  // node 0 exits
+                   },
+                   [](std::uint64_t) {}),
+               UsageError);
+}
+
+TEST(GangParallelTest, UsableAfterError) {
+  // A failed run must not poison the pool: the next run() succeeds.
+  Gang gang(2, GangMode::Parallel);
+  EXPECT_THROW(gang.run([&](int) { throw std::runtime_error("boom"); },
+                        [](std::uint64_t) {}),
+               std::runtime_error);
+  std::atomic<int> visits{0};
+  gang.run(
+      [&](int node) {
+        visits.fetch_add(1);
+        gang.barrier_wait(node);
+      },
+      [](std::uint64_t) {});
+  EXPECT_EQ(visits.load(), 2);
+}
+
+TEST(GangParallelTest, ManyNodesManyRounds) {
+  Gang gang(16, GangMode::Parallel);
+  std::vector<std::atomic<int>> counts(16);
+  gang.run(
+      [&](int node) {
+        for (int i = 0; i < 50; ++i) {
+          counts[static_cast<std::size_t>(node)].fetch_add(1);
+          gang.barrier_wait(node);
+        }
+      },
+      [](std::uint64_t) {});
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 50);
+  EXPECT_EQ(gang.barriers_completed(), 50u);
+}
+
+TEST(GangParallelTest, ModeNames) {
+  EXPECT_STREQ(to_string(GangMode::Baton), "baton");
+  EXPECT_STREQ(to_string(GangMode::Parallel), "parallel");
 }
 
 }  // namespace

@@ -69,13 +69,15 @@ TEST(LmwSemanticsTest, AntiDependenceReturnsPreEpochValue) {
   }
 }
 
-TEST(LmwSemanticsTest, SingleWriterModeServesLiveData) {
-  // The flip side: once a page is in single-writer mode nobody holds a
-  // replica, so a racing reader is served the owner's live frame -- the
-  // §2.1 guarantee applies to pages under replica-based coherence, and a
-  // first-touch read of an exclusive page is a true unsynchronized race
-  // (LRC permits either value; TreadMarks-style single-writer mode picks
-  // the live one).
+TEST(LmwSemanticsTest, SingleWriterModeServesSnapshotData) {
+  // A racing first-touch read of an exclusive page is a true
+  // unsynchronized race (nobody holds a replica), and LRC permits either
+  // value. The fetch is served from the owner's *service snapshot* -- the
+  // page as of the last barrier -- never its live frame: under the
+  // parallel gang the owner may be writing the frame at that very moment.
+  // The same-epoch silent write becomes visible one barrier later, when
+  // the deferred exclusivity exit diffs the frame against the served
+  // snapshot and publishes a fresh notice.
   ClusterConfig cfg = config3();
   cfg.num_nodes = 2;
   mem::SharedHeap heap(cfg.page_size);
@@ -88,8 +90,11 @@ TEST(LmwSemanticsTest, SingleWriterModeServesLiveData) {
     if (ctx.node() == 0) {
       x.set(0, 111);  // silent write, no trap
     } else {
-      EXPECT_EQ(x.get(0), 111u) << "live-frame serve from the single writer";
+      EXPECT_EQ(x.get(0), 10u) << "snapshot serve from the single writer";
     }
+    ctx.barrier();
+    // The exit barrier published the silent write; everyone reads it now.
+    EXPECT_EQ(x.get(0), 111u);
     ctx.barrier();
   });
   EXPECT_GT(cluster.runtime().counters().private_exits, 0u);

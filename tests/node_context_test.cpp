@@ -2,6 +2,9 @@
 // type handling, and the write-trap semantics of view acquisition.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+
 #include "updsm/dsm/cluster.hpp"
 #include "updsm/dsm/node_context.hpp"
 #include "updsm/dsm/null_protocol.hpp"
@@ -120,13 +123,16 @@ TEST(NodeContextTest, IdsAndGeometryAccessors) {
   mem::SharedHeap heap(cfg.page_size);
   heap.alloc_page_aligned(64, "x");
   Cluster cluster(cfg, heap, protocols::make_protocol(ProtocolKind::LmwI));
+  std::mutex mu;  // nodes run concurrently under the default parallel gang
   std::vector<int> seen;
   cluster.run([&](NodeContext& ctx) {
     EXPECT_EQ(ctx.num_nodes(), 3);
     EXPECT_EQ(ctx.page_size(), 1024u);
     EXPECT_EQ(ctx.id().value(), static_cast<std::uint32_t>(ctx.node()));
-    seen.push_back(ctx.node());  // gang: one runnable thread at a time
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(ctx.node());
   });
+  std::sort(seen.begin(), seen.end());
   EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
 }
 

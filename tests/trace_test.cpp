@@ -57,7 +57,11 @@ std::vector<std::string> run_traced(protocols::ProtocolKind kind) {
 
 TEST(TraceGoldenTest, BarIProducerConsumer) {
   const std::vector<std::string> expected{
-      "mprot n1 p0 none",
+      // Loop-entry cold-replica invalidation is distributed: each node
+      // drops its OWN non-home replicas on its own thread, so node 0's
+      // whole-phase lines come first and node 1's single invalidation
+      // line follows (node-ordered buffers), instead of one node emitting
+      // both lines up front.
       "mprot n0 p1 none",
       "fault w n0 p0",
       "mprot n0 p0 rw",
@@ -65,6 +69,7 @@ TEST(TraceGoldenTest, BarIProducerConsumer) {
       "req n0>n1 16B 1056B",
       "mprot n0 p1 r",
       "mprot n0 p1 rw",
+      "mprot n1 p0 none",
       "mprot n0 p1 r",
       "flush n0>n1 1032B",
       "mprot n1 p1 rw",

@@ -41,6 +41,7 @@ struct Options {
   bool per_node = false;
   bool csv = false;
   std::uint64_t seed = 0x1998'0330;
+  sim::GangMode gang = sim::GangMode::Parallel;
 };
 
 [[noreturn]] void usage(int code) {
@@ -56,6 +57,8 @@ struct Options {
       "  --page-size=B     protection granularity (default 8192)\n"
       "  --drop-rate=F     fraction of update flushes dropped (default 0)\n"
       "  --no-migration    disable runtime home migration\n"
+      "  --gang=MODE       parallel|baton node scheduling (default\n"
+      "                    parallel; output is byte-identical)\n"
       "  --seed=N          RNG seed\n"
       "  --breakdown       print the Figure-3 style time breakdown\n"
       "  --hot-pages=N     print the N busiest pages with their owners\n"
@@ -91,6 +94,16 @@ Options parse(int argc, char** argv) {
       opt.drop_rate = std::atof(v);
     } else if (const char* v = value("--seed=")) {
       opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--gang=")) {
+      const std::string mode = v;
+      if (mode == "parallel") {
+        opt.gang = sim::GangMode::Parallel;
+      } else if (mode == "baton") {
+        opt.gang = sim::GangMode::Baton;
+      } else {
+        std::fprintf(stderr, "unknown gang mode: %s\n", v);
+        usage(2);
+      }
     } else if (arg == "--no-migration") {
       opt.migration = false;
     } else if (const char* v = value("--hot-pages=")) {
@@ -118,6 +131,7 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.num_nodes = opt.nodes;
   cfg.page_size = opt.page_size;
   cfg.seed = opt.seed;
+  cfg.gang = opt.gang;
   cfg.home_migration = opt.migration;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
   return cfg;
