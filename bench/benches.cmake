@@ -21,6 +21,7 @@ updsm_add_bench(ablation_os_stress)
 updsm_add_bench(ablation_page_size)
 updsm_add_bench(ablation_nodes)
 updsm_add_bench(ablation_migration)
+updsm_add_bench(ablation_faults)
 
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
 target_link_libraries(micro_primitives PRIVATE

@@ -6,7 +6,9 @@
 
 #include "updsm/dsm/race_detector.hpp"
 #include "updsm/sim/cost_model.hpp"
+#include "updsm/sim/fault_plan.hpp"
 #include "updsm/sim/gang.hpp"
+#include "updsm/sim/time.hpp"
 
 namespace updsm::dsm {
 
@@ -16,6 +18,19 @@ namespace updsm::dsm {
 enum class OverdriveFallback {
   Strict,  // throw ProtocolError (the paper's prototype behaviour)
   Revert,  // handle the fault like bar-u and keep going
+};
+
+/// Retry parameters for the reliable channel under fault injection.
+/// Request/reply exchanges and reliable one-way messages (sync, control,
+/// diff-to-home flushes) that the FaultPlan drops are retransmitted after a
+/// timeout with bounded exponential backoff; the sender is charged the full
+/// timeout as Wait time for every lost attempt. Exhausting max_attempts
+/// throws ProtocolError (only reachable with drop probabilities near 1).
+struct RetryPolicy {
+  sim::SimTime timeout = sim::usec(2000);
+  double backoff = 2.0;
+  sim::SimTime max_timeout = sim::usec(16000);
+  int max_attempts = 25;
 };
 
 struct ClusterConfig {
@@ -33,6 +48,17 @@ struct ClusterConfig {
   /// it); the cluster silently downgrades to Baton for protocols whose
   /// fault handlers are not parallel-safe (sc-sw).
   sim::GangMode gang = sim::GangMode::Parallel;
+
+  // --- fault injection ----------------------------------------------------
+  /// Adversarial transport behaviour (see sim/fault_plan.hpp). Empty = the
+  /// perfect network (plus the legacy flush_drop_rate knob in costs.net).
+  sim::FaultSpec faults;
+  /// Seed for the fault plan's decision streams. Independent of `seed` so a
+  /// fault schedule can be varied while the run's other stochastic inputs
+  /// stay fixed.
+  std::uint64_t fault_seed = 0;
+  /// Reliable-channel retry behaviour when `faults` is non-empty.
+  RetryPolicy retry;
 
   // --- home-based protocol options (bar-*) -------------------------------
   /// Runtime home migration after the first iteration (§2.2.1, third

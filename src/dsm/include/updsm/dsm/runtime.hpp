@@ -78,6 +78,8 @@ class Runtime {
 
   [[nodiscard]] sim::Network& net() { return net_; }
   [[nodiscard]] const sim::Network& net() const { return net_; }
+  /// Null unless config.faults is non-empty.
+  [[nodiscard]] sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
   [[nodiscard]] ProtocolCounters& counters() { return counters_; }
   [[nodiscard]] const ProtocolCounters& counters() const { return counters_; }
   /// Null unless config.trace is set.
@@ -130,6 +132,18 @@ class Runtime {
   /// Reliable control message (home-migration directives etc.).
   void control(NodeId from, NodeId to, std::uint64_t bytes);
 
+  /// Records and charges one reliable one-way message (sync arrivals and
+  /// releases, and internally the reliable legs of control/flush): sender
+  /// pays one send trap per attempt. With no fault plan this is exactly
+  /// record + send_trap + count_send. Under faults, drops cost the sender a
+  /// full timeout of Wait and a retransmission (bounded exponential backoff
+  /// per ClusterConfig::retry); injected duplicates charge the receiver one
+  /// suppressed recv trap. Returns the wire latency of the copy that
+  /// actually arrived (including any injected extra delay). Receiver-side
+  /// delivery accounting stays with the caller.
+  sim::SimTime reliable_send(sim::MsgKind kind, NodeId from, NodeId to,
+                             std::uint64_t bytes);
+
   // --- barrier payload accumulators (used by Cluster) ----------------------
   /// Protocols add piggybacked metadata bytes to the arrival / release sync
   /// messages of node `n` (write notices, version lists, copyset tables).
@@ -178,6 +192,16 @@ class Runtime {
   }
 
  private:
+  /// Charges `sender` the current retransmission timeout (Wait), grows it
+  /// (bounded exponential backoff) and counts/traces the retry.
+  void retry_wait(NodeId sender, sim::MsgKind kind, NodeId to,
+                  sim::SimTime& timeout);
+  /// Accounts one suppressed duplicate delivery at `to` (the copy is
+  /// recorded as wire traffic, the receiver absorbs one recv trap, and the
+  /// protocol never sees it).
+  void suppress_dup(sim::MsgKind kind, NodeId from, NodeId to,
+                    std::uint64_t bytes, sim::SimTime handler_extra = 0);
+
   [[nodiscard]] std::size_t check(NodeId n) const {
     UPDSM_CHECK_MSG(n.value() < static_cast<std::uint32_t>(num_nodes()),
                     "node " << n << " out of range");
@@ -191,6 +215,7 @@ class Runtime {
   std::vector<sim::OsModel> os_;
   std::vector<std::unique_ptr<std::mutex>> service_mu_;
   sim::Network net_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;
   ProtocolCounters counters_;
   std::unique_ptr<TraceLog> trace_;
   std::vector<PageStats> page_stats_;

@@ -57,6 +57,18 @@ struct ProtocolCounters {
   Cell private_entries = 0;
   /// Private pages pulled back into normal coherence by a remote access.
   Cell private_exits = 0;
+  /// Reliable-channel retransmissions triggered by fault-injected drops
+  /// (one per resend; a message lost k times retries k times).
+  Cell reliable_retries = 0;
+  /// Duplicate deliveries suppressed by idempotent service-side handling
+  /// (retransmissions arriving after the original plus injected dups).
+  Cell dup_suppressed = 0;
+  /// Recovery work attributable to a lost unreliable update push: a bar-*
+  /// barrier invalidation of an otherwise-current copy, or an lmw-u fetch
+  /// for a page whose update should have been stored locally.
+  Cell recovery_faults = 0;
+  /// Transient node stalls injected between barriers by the fault plan.
+  Cell node_stalls = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;
@@ -80,6 +92,10 @@ struct ProtocolCounters {
     overdrive_mispredictions += o.overdrive_mispredictions;
     private_entries += o.private_entries;
     private_exits += o.private_exits;
+    reliable_retries += o.reliable_retries;
+    dup_suppressed += o.dup_suppressed;
+    recovery_faults += o.recovery_faults;
+    node_stalls += o.node_stalls;
     return *this;
   }
 };

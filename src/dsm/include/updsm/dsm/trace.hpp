@@ -16,6 +16,16 @@
 //   flush n<from>>n<to> <bytes>B [drop]   one-way flush (drop = lost)
 //   ctl n<from>>n<to> <bytes>B            control message
 //
+// Fault-injection events (only with a non-empty ClusterConfig::faults; the
+// no-fault trace is byte-identical to the pre-fault-injection grammar):
+//   retry <kind> n<from>>n<to>    reliable message lost; sender timed out
+//                                 and retransmitted (kind per
+//                                 sim::to_string(MsgKind))
+//   dup <kind> n<from>>n<to>      duplicate delivery suppressed by the
+//                                 receiver's idempotent handling
+//   stall n<node> <t>ns           transient node stall injected after a
+//                                 barrier release
+//
 // Concurrency: under the parallel gang, lines emitted mid-phase go to a
 // private per-node buffer (keyed by sim::current_exec_node(), no locking),
 // and the cluster flushes the buffers in node order at each barrier and at

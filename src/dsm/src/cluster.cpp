@@ -218,9 +218,7 @@ void Cluster::do_barrier(std::uint64_t index) {
     if (node == master) continue;  // master's metadata stays local
     if (reducing) payload += kReduceWireBytes;
     const SimTime wire =
-        rt_.net().record(MsgKind::SyncArrive, node, master, payload);
-    rt_.clock(node).advance(TimeCat::Os, net_costs.send_trap);
-    rt_.os(node).count_send();
+        rt_.reliable_send(MsgKind::SyncArrive, node, master, payload);
     latest_arrival =
         std::max(latest_arrival, rt_.clock(node).now() + wire);
   }
@@ -278,9 +276,7 @@ void Cluster::do_barrier(std::uint64_t index) {
     std::uint64_t payload = rt_.take_release_payload(node);
     if (reducing) payload += kReduceWireBytes;
     const SimTime wire =
-        rt_.net().record(MsgKind::SyncRelease, master, node, payload);
-    rt_.clock(master).advance(TimeCat::Os, net_costs.send_trap);
-    rt_.os(master).count_send();
+        rt_.reliable_send(MsgKind::SyncRelease, master, node, payload);
     rt_.clock(node).advance_to(TimeCat::Wait, rt_.clock(master).now() + wire);
     rt_.clock(node).advance(TimeCat::Os, net_costs.recv_trap);
     rt_.os(node).count_recv();
@@ -294,6 +290,24 @@ void Cluster::do_barrier(std::uint64_t index) {
 
   if (auto* trace = rt_.trace()) {
     trace->emit("barrier " + std::to_string(index));
+  }
+
+  // Transient node stalls: a stalled node starts the next phase late, as if
+  // the OS descheduled its process right after the release (ISSUE: "node
+  // stalls between barriers"). Drawn statelessly from (node, barrier), so
+  // the schedule is identical in both gang modes.
+  if (auto* plan = rt_.fault_plan()) {
+    for (int i = 0; i < n; ++i) {
+      const NodeId node{static_cast<std::uint32_t>(i)};
+      const SimTime stall = plan->stall(node, index);
+      if (stall <= 0) continue;
+      rt_.clock(node).advance(TimeCat::Os, stall);
+      ++rt_.counters().node_stalls;
+      if (auto* trace = rt_.trace()) {
+        trace->emit("stall n" + std::to_string(node.value()) + " " +
+                    std::to_string(stall) + "ns");
+      }
+    }
   }
   rt_.advance_epoch();
 

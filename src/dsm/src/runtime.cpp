@@ -1,5 +1,8 @@
 #include "updsm/dsm/runtime.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "updsm/common/log.hpp"
 #include "updsm/common/rng.hpp"
 
@@ -32,6 +35,10 @@ Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
     service_mu_.push_back(std::make_unique<std::mutex>());
   }
   if (config.trace) trace_ = std::make_unique<TraceLog>(n);
+  if (!config.faults.empty()) {
+    fault_plan_ = std::make_unique<sim::FaultPlan>(config.faults,
+                                                   config.fault_seed, n);
+  }
   page_stats_.assign(num_pages, PageStats{});
   arrival_payload_.assign(static_cast<std::size_t>(n), 0);
   release_payload_.assign(static_cast<std::size_t>(n), 0);
@@ -66,6 +73,35 @@ void Runtime::charge_dsm(NodeId n, SimTime fixed, double per_byte_ns,
   clock(n).advance(sigio ? TimeCat::Sigio : TimeCat::Dsm, cost);
 }
 
+void Runtime::retry_wait(NodeId sender, MsgKind kind, NodeId to,
+                         SimTime& timeout) {
+  clock(sender).advance(TimeCat::Wait, timeout);
+  timeout = std::min(
+      static_cast<SimTime>(static_cast<double>(timeout) *
+                           config_.retry.backoff),
+      config_.retry.max_timeout);
+  ++counters_.reliable_retries;
+  if (trace_) {
+    trace_->emit("retry " + std::string(sim::to_string(kind)) + " n" +
+                 std::to_string(sender.value()) + ">n" +
+                 std::to_string(to.value()));
+  }
+}
+
+void Runtime::suppress_dup(MsgKind kind, NodeId from, NodeId to,
+                           std::uint64_t bytes, SimTime handler_extra) {
+  net_.record(kind, from, to, bytes);
+  net_.note_dup();
+  clock(to).advance(TimeCat::Sigio, costs().net.recv_trap + handler_extra);
+  os(to).count_recv();
+  ++counters_.dup_suppressed;
+  if (trace_) {
+    trace_->emit("dup " + std::string(sim::to_string(kind)) + " n" +
+                 std::to_string(from.value()) + ">n" +
+                 std::to_string(to.value()));
+  }
+}
+
 void Runtime::roundtrip(NodeId requester, NodeId responder, MsgKind req_kind,
                         std::uint64_t req_bytes, std::uint64_t reply_bytes,
                         SimTime responder_work) {
@@ -78,34 +114,144 @@ void Runtime::roundtrip(NodeId requester, NodeId responder, MsgKind req_kind,
                  std::to_string(reply_bytes) + "B");
   }
   const auto& net_costs = costs().net;
-  const SimTime req_wire = net_.record(req_kind, requester, responder,
-                                       req_bytes);
-  const SimTime reply_wire =
-      net_.record(MsgKind::DataReply, responder, requester, reply_bytes);
+  if (fault_plan_ == nullptr) {
+    const SimTime req_wire = net_.record(req_kind, requester, responder,
+                                         req_bytes);
+    const SimTime reply_wire =
+        net_.record(MsgKind::DataReply, responder, requester, reply_bytes);
 
-  // Requester: send trap, then stall until the reply has been received.
-  clock(requester).advance(TimeCat::Os, net_costs.send_trap);
-  os(requester).count_send();
-  const SimTime service = net_costs.recv_trap + costs().dsm.handler_fixed +
-                          responder_work + net_costs.send_trap;
-  clock(requester).advance(TimeCat::Wait, req_wire + service + reply_wire);
-  clock(requester).advance(TimeCat::Os, net_costs.recv_trap);
-  os(requester).count_recv();
+    // Requester: send trap, then stall until the reply has been received.
+    clock(requester).advance(TimeCat::Os, net_costs.send_trap);
+    os(requester).count_send();
+    const SimTime service = net_costs.recv_trap + costs().dsm.handler_fixed +
+                            responder_work + net_costs.send_trap;
+    clock(requester).advance(TimeCat::Wait, req_wire + service + reply_wire);
+    clock(requester).advance(TimeCat::Os, net_costs.recv_trap);
+    os(requester).count_recv();
 
-  // Responder: the request interrupts it; everything runs in sigio context.
-  clock(responder).advance(TimeCat::Sigio, service);
-  os(responder).count_recv();
-  os(responder).count_send();
+    // Responder: the request interrupts it; everything runs in sigio context.
+    clock(responder).advance(TimeCat::Sigio, service);
+    os(responder).count_recv();
+    os(responder).count_send();
+    return;
+  }
+
+  // Fault path: retransmission loop with idempotent service-side handling.
+  // A lost request or reply costs the requester the full timeout in Wait;
+  // a retransmitted request arriving after the original was already served
+  // is recognized (dedup) and re-answered without redoing the work, so the
+  // exchange's effect on protocol state happens exactly once no matter how
+  // many copies flew.
+  const RetryPolicy& rp = config_.retry;
+  SimTime timeout = rp.timeout;
+  bool served = false;  // responder_work already performed
+  for (int attempt = 1;; ++attempt) {
+    const SimTime req_wire = net_.record(req_kind, requester, responder,
+                                         req_bytes);
+    clock(requester).advance(TimeCat::Os, net_costs.send_trap);
+    os(requester).count_send();
+    const sim::FaultDecision req_fate =
+        fault_plan_->next(req_kind, requester, responder);
+    if (req_fate.drop) {
+      net_.record_drop(req_kind);
+      if (attempt >= rp.max_attempts) {
+        throw ProtocolError(
+            "reliable " + std::string(sim::to_string(req_kind)) + " n" +
+            std::to_string(requester.value()) + ">n" +
+            std::to_string(responder.value()) + " exhausted " +
+            std::to_string(rp.max_attempts) + " attempts");
+      }
+      retry_wait(requester, req_kind, responder, timeout);
+      continue;
+    }
+    if (req_fate.extra_delay > 0) net_.note_delay();
+
+    // Request delivered: service in sigio context at the responder. Only
+    // the first delivered copy executes the real work.
+    const SimTime service = net_costs.recv_trap + costs().dsm.handler_fixed +
+                            (served ? 0 : responder_work) +
+                            net_costs.send_trap;
+    clock(responder).advance(TimeCat::Sigio, service);
+    os(responder).count_recv();
+    os(responder).count_send();
+    if (served) {
+      // Retransmission of an already-served request: counted as a
+      // suppressed duplicate (the reply is simply resent).
+      net_.note_dup();
+      ++counters_.dup_suppressed;
+    }
+    served = true;
+    if (req_fate.duplicate) {
+      suppress_dup(req_kind, requester, responder, req_bytes,
+                   costs().dsm.handler_fixed);
+    }
+
+    const SimTime reply_wire =
+        net_.record(MsgKind::DataReply, responder, requester, reply_bytes);
+    const sim::FaultDecision reply_fate =
+        fault_plan_->next(MsgKind::DataReply, responder, requester);
+    if (reply_fate.drop) {
+      net_.record_drop(MsgKind::DataReply);
+      if (attempt >= rp.max_attempts) {
+        throw ProtocolError(
+            "reliable " + std::string(sim::to_string(req_kind)) + " n" +
+            std::to_string(requester.value()) + ">n" +
+            std::to_string(responder.value()) + " exhausted " +
+            std::to_string(rp.max_attempts) + " attempts");
+      }
+      retry_wait(requester, req_kind, responder, timeout);
+      continue;
+    }
+    if (reply_fate.extra_delay > 0) net_.note_delay();
+
+    clock(requester).advance(TimeCat::Wait,
+                             req_wire + req_fate.extra_delay + service +
+                                 reply_wire + reply_fate.extra_delay);
+    clock(requester).advance(TimeCat::Os, net_costs.recv_trap);
+    os(requester).count_recv();
+    if (reply_fate.duplicate) {
+      suppress_dup(MsgKind::DataReply, responder, requester, reply_bytes);
+    }
+    return;
+  }
 }
 
 bool Runtime::flush(NodeId from, NodeId to, std::uint64_t bytes,
                     bool reliable) {
   UPDSM_CHECK_MSG(from != to, "self-flush on node " << from);
   const auto& net_costs = costs().net;
+  if (fault_plan_ != nullptr && reliable) {
+    // Correctness-critical diff flush: rides the retried reliable channel.
+    (void)reliable_send(MsgKind::Flush, from, to, bytes);
+    if (trace_) {
+      trace_->emit("flush n" + std::to_string(from.value()) + ">n" +
+                   std::to_string(to.value()) + " " + std::to_string(bytes) +
+                   "B");
+    }
+    clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+    os(to).count_recv();
+    return true;
+  }
   net_.record(MsgKind::Flush, from, to, bytes);
   clock(from).advance(TimeCat::Os, net_costs.send_trap);
   os(from).count_send();
-  const bool delivered = reliable || net_.flush_delivered(to);
+  bool delivered = reliable || net_.flush_delivered(to);
+  bool duplicate = false;
+  if (fault_plan_ != nullptr) {
+    // The plan's stream is drawn unconditionally (independence from the
+    // legacy flush_drop_rate stream), but a message already dropped by the
+    // legacy knob is not dropped twice in the stats.
+    const sim::FaultDecision fate = fault_plan_->next(MsgKind::Flush, from, to);
+    if (fate.drop) {
+      if (delivered) net_.record_drop(MsgKind::Flush);
+      delivered = false;
+    } else if (delivered) {
+      duplicate = fate.duplicate;
+      // Extra delay on a fire-and-forget push has no timing effect in this
+      // model (the receiver absorbs it asynchronously); account it only.
+      if (fate.extra_delay > 0) net_.note_delay();
+    }
+  }
   if (trace_) {
     trace_->emit("flush n" + std::to_string(from.value()) + ">n" +
                  std::to_string(to.value()) + " " + std::to_string(bytes) +
@@ -114,6 +260,9 @@ bool Runtime::flush(NodeId from, NodeId to, std::uint64_t bytes,
   if (!delivered) return false;
   clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
   os(to).count_recv();
+  // A duplicated push interrupts the receiver a second time but is
+  // suppressed before the protocol sees it: updates apply exactly once.
+  if (duplicate) suppress_dup(MsgKind::Flush, from, to, bytes);
   return true;
 }
 
@@ -124,12 +273,38 @@ void Runtime::control(NodeId from, NodeId to, std::uint64_t bytes) {
                  std::to_string(to.value()) + " " + std::to_string(bytes) +
                  "B");
   }
-  const auto& net_costs = costs().net;
-  net_.record(MsgKind::Control, from, to, bytes);
-  clock(from).advance(TimeCat::Os, net_costs.send_trap);
-  os(from).count_send();
-  clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+  (void)reliable_send(MsgKind::Control, from, to, bytes);
+  clock(to).advance(TimeCat::Sigio, costs().net.recv_trap);
   os(to).count_recv();
+}
+
+SimTime Runtime::reliable_send(MsgKind kind, NodeId from, NodeId to,
+                               std::uint64_t bytes) {
+  if (from == to) return 0;
+  const auto& net_costs = costs().net;
+  const RetryPolicy& rp = config_.retry;
+  SimTime timeout = rp.timeout;
+  for (int attempt = 1;; ++attempt) {
+    const SimTime wire = net_.record(kind, from, to, bytes);
+    clock(from).advance(TimeCat::Os, net_costs.send_trap);
+    os(from).count_send();
+    if (fault_plan_ == nullptr) return wire;
+    const sim::FaultDecision fate = fault_plan_->next(kind, from, to);
+    if (fate.drop) {
+      net_.record_drop(kind);
+      if (attempt >= rp.max_attempts) {
+        throw ProtocolError(
+            "reliable " + std::string(sim::to_string(kind)) + " n" +
+            std::to_string(from.value()) + ">n" + std::to_string(to.value()) +
+            " exhausted " + std::to_string(rp.max_attempts) + " attempts");
+      }
+      retry_wait(from, kind, to, timeout);
+      continue;
+    }
+    if (fate.duplicate) suppress_dup(kind, from, to, bytes);
+    if (fate.extra_delay > 0) net_.note_delay();
+    return wire + fate.extra_delay;
+  }
 }
 
 void Runtime::begin_measurement() {

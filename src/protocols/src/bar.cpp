@@ -143,26 +143,48 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
     fetch_page(n, page, /*count_as_miss=*/true);
   }
   if (od_active_) {
-    // Overdrive replaced write trapping with prediction; a trapped write
-    // means the application diverged from the learned pattern (§4.1).
-    ++rt_->counters().overdrive_mispredictions;
-    UPDSM_LOG(Debug, name() << " misprediction: node " << n << " page "
-                            << page << " epoch " << rt_->epoch()
-                            << " base " << od_base_epoch_ << " period "
-                            << od_period_ << " prot "
-                            << mem::to_string(rt_->table(n).prot(page)));
-    if (rt_->config().overdrive_fallback == OverdriveFallback::Strict) {
-      throw ProtocolError(std::string(name()) +
-                          ": unpredicted write trapped during overdrive "
-                          "(page " +
-                          std::to_string(page.value()) + ", node " +
-                          std::to_string(n.value()) + ")");
-    }
-    // Revert mode: fall through and handle it exactly like bar-u. Under
-    // bar-m the page then joins the writable set for the rest of the run
-    // (it will be audited against its twin like any other writable page).
-    if (mode_ == BarMode::OverdriveM) {
-      st.writable_union[page.index()] = true;
+    // Overdrive replaced write trapping with prediction; only a write the
+    // learned pattern did NOT predict means the application diverged
+    // (§4.1). A *predicted* page can still trap when its pre-armed copy
+    // was torn down by a barrier invalidation healing a lost update push:
+    // the prediction was right, the copy was lost. Recover like bar-u and
+    // rejoin the pattern.
+    const bool predicted =
+        mode_ == BarMode::OverdriveM
+            ? static_cast<bool>(st.writable_union[page.index()])
+            : [&] {
+                const auto& pw = predicted_writes(n, rt_->epoch().value());
+                return std::binary_search(pw.begin(), pw.end(), page);
+              }();
+    if (predicted) {
+      // The frame is current again (refetched above or still readable);
+      // a surviving twin holds pre-invalidation bytes and must be brought
+      // up to date or the next diff would swallow foreign data.
+      if (st.twins.has(page)) {
+        st.twins.refresh(page, rt_->table(n).frame(page));
+        rt_->charge_dsm(n, 0, rt_->costs().dsm.copy_per_byte_ns,
+                        rt_->page_size());
+      }
+    } else {
+      ++rt_->counters().overdrive_mispredictions;
+      UPDSM_LOG(Debug, name() << " misprediction: node " << n << " page "
+                              << page << " epoch " << rt_->epoch()
+                              << " base " << od_base_epoch_ << " period "
+                              << od_period_ << " prot "
+                              << mem::to_string(rt_->table(n).prot(page)));
+      if (rt_->config().overdrive_fallback == OverdriveFallback::Strict) {
+        throw ProtocolError(std::string(name()) +
+                            ": unpredicted write trapped during overdrive "
+                            "(page " +
+                            std::to_string(page.value()) + ", node " +
+                            std::to_string(n.value()) + ")");
+      }
+      // Revert mode: fall through and handle it exactly like bar-u. Under
+      // bar-m the page then joins the writable set for the rest of the run
+      // (it will be audited against its twin like any other writable page).
+      if (mode_ == BarMode::OverdriveM) {
+        st.writable_union[page.index()] = true;
+      }
     }
   }
 
@@ -676,6 +698,13 @@ void BarProtocol::barrier_release(NodeId n) {
                               << st.cached_version[page.index()] << " prev "
                               << rec.prev_version << " writers "
                               << rec.writers << " got " << got);
+      if (update_mode() && current && (need & ~got) != 0) {
+        // Update protocol, current copy, missing diffs: this invalidation
+        // would not have happened had every update push arrived -- pure
+        // recovery from a lost flush (the degradation the fault benches
+        // measure). bar-i never pushes, so it never counts here.
+        ++rt_->counters().recovery_faults;
+      }
       if (got != 0) ++rt_->counters().updates_ignored;
       rt_->mprotect(n, page, Protect::None);
       if (st.twins.has(page) && !od_m_active) {

@@ -118,6 +118,13 @@ bool LmwProtocol::validate_page(NodeId n, PageId page, bool demand) {
     }
     rt_->roundtrip(n, creator, MsgKind::DataRequest,
                    16 + 8 * indices.size(), reply_bytes, serve_work);
+    // If the creator already knew this consumer, lmw-u pushed these diffs
+    // at the barrier and the stored copy should have been found above --
+    // this fetch exists only because an unreliable push was lost. (Checked
+    // before the copyset add below, which is what records the knowledge.)
+    if (use_updates_ && node(creator).pages[page.index()].copyset.contains(n)) {
+      ++rt_->counters().recovery_faults;
+    }
     // The creator learns a consumer: copyset learning (paper §2.1.2).
     if (demand) node(creator).pages[page.index()].copyset.add(n);
   }

@@ -63,12 +63,15 @@ inline constexpr std::size_t kMsgKindCount = 6;
 
 struct MsgCounter {
   std::uint64_t count = 0;
-  std::uint64_t bytes = 0;  // payload + header
+  std::uint64_t bytes = 0;    // payload + header
+  std::uint64_t dropped = 0;  // sent (counted above) but never delivered
 };
 
 /// Aggregate traffic statistics for a run.
 struct NetworkStats {
   std::array<MsgCounter, kMsgKindCount> by_kind{};
+  std::uint64_t injected_dups = 0;    // fault-injected duplicate deliveries
+  std::uint64_t injected_delays = 0;  // fault-injected extra-delay events
 
   [[nodiscard]] const MsgCounter& of(MsgKind k) const {
     return by_kind[static_cast<std::size_t>(k)];
@@ -92,6 +95,14 @@ struct NetworkStats {
   [[nodiscard]] std::uint64_t total_one_way_messages() const {
     std::uint64_t sum = 0;
     for (const auto& c : by_kind) sum += c.count;
+    return sum;
+  }
+
+  /// Every message lost in transit, whatever its kind (legacy flush drops
+  /// and fault-plan drops alike).
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : by_kind) sum += c.dropped;
     return sum;
   }
 };
@@ -122,10 +133,21 @@ class Network {
   /// arrival sequence itself is deterministic.)
   [[nodiscard]] bool flush_delivered(NodeId to = NodeId{0});
 
+  /// Marks the last recorded message of `kind` as lost in transit (it was
+  /// sent, so record() already counted it). Thread-safe like record().
+  void record_drop(MsgKind kind);
+  /// Accounts one fault-injected duplicate delivery. The duplicate copy
+  /// itself should also be record()ed -- it crossed the wire.
+  void note_dup();
+  /// Accounts one fault-injected extra-delay event.
+  void note_delay();
+
   /// Sums the per-thread shards. Controller context only (no node mid-phase).
   [[nodiscard]] const NetworkStats& stats() const;
   [[nodiscard]] const NetworkCosts& costs() const { return costs_; }
 
+  /// Flush messages lost in transit (== stats().of(Flush).dropped).
+  /// Controller context only.
   std::uint64_t dropped_flushes() const;
 
   /// Clears statistics at the start of the measurement window.
@@ -136,7 +158,6 @@ class Network {
   /// One cache line per shard so concurrent nodes never false-share.
   struct alignas(64) Shard {
     NetworkStats stats;
-    std::uint64_t dropped_flushes = 0;
   };
 
   [[nodiscard]] Shard& my_shard();

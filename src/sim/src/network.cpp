@@ -40,9 +40,17 @@ bool Network::flush_delivered(NodeId to) {
   if (costs_.flush_drop_rate <= 0.0) return true;
   auto& rng = drop_rngs_[to.value() % drop_rngs_.size()];
   const bool delivered = rng.uniform() >= costs_.flush_drop_rate;
-  if (!delivered) ++my_shard().dropped_flushes;
+  if (!delivered) record_drop(MsgKind::Flush);
   return delivered;
 }
+
+void Network::record_drop(MsgKind kind) {
+  ++my_shard().stats.by_kind[static_cast<std::size_t>(kind)].dropped;
+}
+
+void Network::note_dup() { ++my_shard().stats.injected_dups; }
+
+void Network::note_delay() { ++my_shard().stats.injected_delays; }
 
 const NetworkStats& Network::stats() const {
   merged_ = NetworkStats{};
@@ -50,14 +58,19 @@ const NetworkStats& Network::stats() const {
     for (std::size_t k = 0; k < kMsgKindCount; ++k) {
       merged_.by_kind[k].count += shard.stats.by_kind[k].count;
       merged_.by_kind[k].bytes += shard.stats.by_kind[k].bytes;
+      merged_.by_kind[k].dropped += shard.stats.by_kind[k].dropped;
     }
+    merged_.injected_dups += shard.stats.injected_dups;
+    merged_.injected_delays += shard.stats.injected_delays;
   }
   return merged_;
 }
 
 std::uint64_t Network::dropped_flushes() const {
   std::uint64_t sum = 0;
-  for (const Shard& shard : shards_) sum += shard.dropped_flushes;
+  for (const Shard& shard : shards_) {
+    sum += shard.stats.by_kind[static_cast<std::size_t>(MsgKind::Flush)].dropped;
+  }
   return sum;
 }
 

@@ -1,0 +1,189 @@
+// Fault-conformance soak: the whole point of the fault subsystem is that an
+// adversarial transport changes WHEN things happen, never WHAT is computed.
+// This drives the six paper protocols on a regular stencil (jacobi) and an
+// irregular mesh (tomcat), in both gang modes, under a battery of seeded
+// random fault plans (drops, dups, delays, stalls, targeted rules), and
+// requires every run to be bit-identical to its fault-free baseline with
+// internally consistent fault counters.
+//
+// Plan count defaults to 20; UPDSM_FAULT_PLANS=<n> shrinks (or grows) the
+// battery, which CI uses to keep the sanitizer job inside its time budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "updsm/common/rng.hpp"
+#include "updsm/harness/experiment.hpp"
+
+namespace updsm {
+namespace {
+
+using protocols::ProtocolKind;
+using sim::GangMode;
+
+struct Scenario {
+  const char* app;
+  std::vector<ProtocolKind> kinds;
+};
+
+// tomcat's write pattern shifts between iterations, so the overdrive
+// predictors (bar-s / bar-m) are off the table for it -- same exclusion the
+// benches apply.
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> s{
+      {"jacobi",
+       {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+        ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM}},
+      {"tomcat",
+       {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+        ProtocolKind::BarU}},
+  };
+  return s;
+}
+
+int plan_count() {
+  if (const char* env = std::getenv("UPDSM_FAULT_PLANS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 20;
+}
+
+/// Deterministic plan battery: plan i is a pure function of i. Mixes broad
+/// low-rate plans, aggressive drop plans, kind-targeted rules and stalls.
+std::string make_plan(int i) {
+  std::uint64_t x = 0x1998'0330u + static_cast<std::uint64_t>(i);
+  auto draw = [&x] {
+    x = splitmix64(x);
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  };
+  auto pct = [&](double lo, double hi) {
+    const double p = lo + draw() * (hi - lo);
+    return std::to_string(p).substr(0, 6);
+  };
+  std::string plan;
+  switch (i % 4) {
+    case 0:  // uniform lossy channel
+      plan = "drop=" + pct(0.02, 0.15);
+      break;
+    case 1:  // drops + dups + reordering delays everywhere
+      plan = "drop=" + pct(0.01, 0.1) + ",dup=" + pct(0.01, 0.1) +
+             ",delay=" + pct(0.01, 0.1) + ",delay_us=" +
+             std::to_string(50 + static_cast<int>(draw() * 400));
+      break;
+    case 2:  // hammer one message kind, lightly stress the rest
+      plan = std::string("kind=") +
+             (i % 8 < 4 ? "data-reply" : "flush") + ",drop=" +
+             pct(0.1, 0.3) + ";drop=" + pct(0.0, 0.05);
+      break;
+    default:  // asymmetric pair loss + a flaky node that stalls
+      plan = "from=0,to=1,drop=" + pct(0.1, 0.3) + ";drop=" +
+             pct(0.01, 0.08) + ";node=1,stall=" + pct(0.1, 0.4) +
+             ",stall_us=" + std::to_string(100 + static_cast<int>(draw() * 800));
+      break;
+  }
+  return plan;
+}
+
+harness::RunResult run_one(const char* app, ProtocolKind kind, GangMode gang,
+                           const std::string& plan, std::uint64_t fault_seed) {
+  apps::AppParams params;
+  params.scale = 0.1;
+  params.warmup_iterations = 4;
+  params.measured_iterations = 2;
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gang = gang;
+  if (!plan.empty()) {
+    cfg.faults = sim::FaultSpec::parse(plan);
+    cfg.fault_seed = fault_seed;
+  }
+  return harness::run_app(app, kind, cfg, params);
+}
+
+TEST(FaultConformanceTest, AllProtocolsBitExactUnderRandomPlans) {
+  const int plans = plan_count();
+  for (const Scenario& sc : scenarios()) {
+    for (const ProtocolKind kind : sc.kinds) {
+      const harness::RunResult base =
+          run_one(sc.app, kind, GangMode::Parallel, "", 0);
+      ASSERT_NE(base.checksum, 0.0) << sc.app;
+      for (int i = 0; i < plans; ++i) {
+        const std::string plan = make_plan(i);
+        const std::uint64_t seed = 1000u + static_cast<std::uint64_t>(i);
+        const harness::RunResult faulty =
+            run_one(sc.app, kind, GangMode::Parallel, plan, seed);
+        const std::string ctx = std::string(sc.app) + " under " +
+                                protocols::to_string(kind) + " plan " +
+                                std::to_string(i) + " [" + plan + "]";
+        // The contract: faults shift time, never data.
+        EXPECT_EQ(faulty.checksum, base.checksum) << ctx;
+        EXPECT_EQ(faulty.barriers, base.barriers) << ctx;
+        // Counter consistency: every retry was provoked by a loss, every
+        // injected duplicate was suppressed exactly once, and a run that
+        // lost reliable traffic must show the recovery work.
+        EXPECT_GE(faulty.net.total_dropped(), faulty.counters.reliable_retries)
+            << ctx;
+        EXPECT_GE(faulty.counters.dup_suppressed, faulty.net.injected_dups)
+            << ctx;
+        EXPECT_GE(faulty.elapsed, base.elapsed)
+            << ctx << ": recovery cannot make a run faster";
+      }
+    }
+  }
+}
+
+// The injected schedule is keyed by traffic content, not thread timing, so
+// the two gang modes must agree on every observable -- times, counters and
+// traffic -- under every plan, exactly as they do fault-free.
+TEST(FaultConformanceTest, GangModesAgreeUnderFaults) {
+  const int plans = plan_count();
+  for (const Scenario& sc : scenarios()) {
+    for (const ProtocolKind kind : sc.kinds) {
+      for (int i = 0; i < plans; ++i) {
+        const std::string plan = make_plan(i);
+        const std::uint64_t seed = 1000u + static_cast<std::uint64_t>(i);
+        const harness::RunResult baton =
+            run_one(sc.app, kind, GangMode::Baton, plan, seed);
+        const harness::RunResult par =
+            run_one(sc.app, kind, GangMode::Parallel, plan, seed);
+        const std::string ctx = std::string(sc.app) + " under " +
+                                protocols::to_string(kind) + " plan " +
+                                std::to_string(i);
+        EXPECT_EQ(baton.checksum, par.checksum) << ctx;
+        EXPECT_EQ(baton.elapsed, par.elapsed) << ctx;
+        EXPECT_EQ(baton.net.total_bytes(), par.net.total_bytes()) << ctx;
+        EXPECT_EQ(baton.net.total_dropped(), par.net.total_dropped()) << ctx;
+        EXPECT_EQ(baton.net.injected_dups, par.net.injected_dups) << ctx;
+        EXPECT_EQ(baton.counters.reliable_retries,
+                  par.counters.reliable_retries)
+            << ctx;
+        EXPECT_EQ(baton.counters.dup_suppressed, par.counters.dup_suppressed)
+            << ctx;
+        EXPECT_EQ(baton.counters.recovery_faults, par.counters.recovery_faults)
+            << ctx;
+        EXPECT_EQ(baton.counters.node_stalls, par.counters.node_stalls) << ctx;
+      }
+    }
+  }
+}
+
+// sc-sw rides its own single-writer machinery (and is baton-only); give it
+// a lighter soak of its own so the whole protocol roster is covered.
+TEST(FaultConformanceTest, ScSwSurvivesFaults) {
+  const int plans = std::min(plan_count(), 5);
+  const harness::RunResult base =
+      run_one("jacobi", ProtocolKind::ScSw, GangMode::Baton, "", 0);
+  for (int i = 0; i < plans; ++i) {
+    const harness::RunResult faulty = run_one(
+        "jacobi", ProtocolKind::ScSw, GangMode::Baton, make_plan(i),
+        1000u + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(faulty.checksum, base.checksum) << make_plan(i);
+  }
+}
+
+}  // namespace
+}  // namespace updsm

@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,8 @@ struct Options {
   int iters = 10;
   std::uint32_t page_size = 8192;
   double drop_rate = 0.0;
+  std::string faults;  // fault-spec text or a file containing one
+  std::uint64_t fault_seed = 0;
   bool migration = true;
   bool breakdown = false;
   bool layout = false;
@@ -56,6 +60,10 @@ struct Options {
       "  --iters=N         measured time-steps (default 10)\n"
       "  --page-size=B     protection granularity (default 8192)\n"
       "  --drop-rate=F     fraction of update flushes dropped (default 0)\n"
+      "  --faults=SPEC     fault-injection plan (inline spec or a file);\n"
+      "                    e.g. 'drop=0.1' or 'kind=flush,to=2,drop=0.5'\n"
+      "                    (see sim/fault_plan.hpp for the grammar)\n"
+      "  --fault-seed=N    seed for the fault plan's decision streams\n"
       "  --no-migration    disable runtime home migration\n"
       "  --gang=MODE       parallel|baton node scheduling (default\n"
       "                    parallel; output is byte-identical)\n"
@@ -66,6 +74,16 @@ struct Options {
       "  --layout          print the shared-segment layout\n"
       "  --csv             one CSV line per run (with header)\n");
   std::exit(code);
+}
+
+/// `--faults` accepts either an inline spec or the name of a file holding
+/// one; a readable file wins (a spec is never a valid relative path).
+std::string load_fault_spec(const std::string& arg) {
+  std::ifstream in(arg);
+  if (!in) return arg;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
 Options parse(int argc, char** argv) {
@@ -92,6 +110,10 @@ Options parse(int argc, char** argv) {
       opt.page_size = static_cast<std::uint32_t>(std::atoi(v));
     } else if (const char* v = value("--drop-rate=")) {
       opt.drop_rate = std::atof(v);
+    } else if (const char* v = value("--faults=")) {
+      opt.faults = v;
+    } else if (const char* v = value("--fault-seed=")) {
+      opt.fault_seed = std::strtoull(v, nullptr, 0);
     } else if (const char* v = value("--seed=")) {
       opt.seed = std::strtoull(v, nullptr, 0);
     } else if (const char* v = value("--gang=")) {
@@ -134,6 +156,10 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.gang = opt.gang;
   cfg.home_migration = opt.migration;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
+  if (!opt.faults.empty()) {
+    cfg.faults = sim::FaultSpec::parse(load_fault_spec(opt.faults));
+    cfg.fault_seed = opt.fault_seed;
+  }
   return cfg;
 }
 
@@ -197,6 +223,15 @@ void print_run(const Options& opt, const harness::RunResult& run,
               static_cast<unsigned long long>(run.counters.migrations),
               static_cast<unsigned long long>(run.counters.private_entries),
               static_cast<unsigned long long>(run.counters.private_exits));
+  if (!opt.faults.empty()) {
+    std::printf("  faults        %llu drops, %llu retries, %llu dups "
+                "suppressed, %llu recovery faults, %llu stalls\n",
+                static_cast<unsigned long long>(run.net.total_dropped()),
+                static_cast<unsigned long long>(run.counters.reliable_retries),
+                static_cast<unsigned long long>(run.counters.dup_suppressed),
+                static_cast<unsigned long long>(run.counters.recovery_faults),
+                static_cast<unsigned long long>(run.counters.node_stalls));
+  }
 
   if (opt.breakdown) {
     const auto sum = run.breakdown.summed();
