@@ -1,0 +1,191 @@
+// X7: what barrier-time flush aggregation buys, and when. Sweeps the fixed
+// per-message network cost over {15, 45, 100, 200} us for all six paper
+// protocols on jacobi (stencil), tomcat (irregular mesh) and fft
+// (all-to-all transpose), running every point both with and without
+// aggregation, verifying bit-exactness against the sequential baseline at
+// every point, and reporting the message reduction and runtime speedup the
+// batching layer delivers. Emits BENCH_aggregation.json.
+//
+// Deterministic by construction: virtual-time results depend only on
+// (workload, config), never on --jobs or wall clock; the
+// bench_aggregation_determinism ctest pins byte-identical output.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace updsm;
+
+constexpr int kPerMessageUs[] = {15, 45, 100, 200};
+constexpr const char* kApps[] = {"jacobi", "tomcat", "fft"};
+
+struct Cell {
+  std::string app;
+  protocols::ProtocolKind kind;
+  int per_message_us;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using protocols::ProtocolKind;
+
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  // 144 runs; keep the sweep snappy. 0.5 (not the usual 0.4) because fft's
+  // power-of-two sizing needs >= half scale before a transpose row spans
+  // several pages -- the regime where batching has records to coalesce.
+  if (opt.scale == 1.0) opt.scale = 0.5;
+
+  // Plan every run up front and execute on the --jobs worker pool; results
+  // land in task order, so output is identical at any worker count. Each
+  // cell contributes two runs: aggregated then per-page.
+  std::vector<Cell> cells;
+  std::vector<std::function<harness::RunResult()>> tasks;
+  std::vector<std::string> seq_apps;
+  for (const char* app : kApps) {
+    const bench::BenchOptions o = opt;
+    tasks.push_back([o, app = std::string(app)] {
+      return harness::run_sequential(app, o.cluster_config(), o.app_params());
+    });
+    seq_apps.push_back(app);
+    for (const ProtocolKind kind : protocols::all_paper_protocols()) {
+      if (!bench::overdrive_safe(app) &&
+          (kind == ProtocolKind::BarS || kind == ProtocolKind::BarM)) {
+        continue;
+      }
+      for (const int us : kPerMessageUs) {
+        cells.push_back(Cell{app, kind, us});
+        for (const bool aggregate : {true, false}) {
+          tasks.push_back([o, app = std::string(app), kind, us, aggregate] {
+            dsm::ClusterConfig cfg = o.cluster_config();
+            cfg.costs.net.per_message = sim::usec(us);
+            cfg.aggregate_flushes = aggregate;
+            return harness::run_app(app, kind, cfg, o.app_params());
+          });
+        }
+      }
+    }
+  }
+  const std::vector<harness::RunResult> results =
+      harness::run_grid(tasks, opt.jobs);
+
+  // Task order: [seq(app0), cells(app0) x {agg, per-page}..., seq(app1), ...].
+  std::size_t next = 0;
+  std::vector<harness::RunResult> seq_results;
+  std::vector<harness::RunResult> agg_results;
+  std::vector<harness::RunResult> page_results;
+  std::size_t cell_idx = 0;
+  for (std::size_t a = 0; a < seq_apps.size(); ++a) {
+    seq_results.push_back(results[next++]);
+    while (cell_idx < cells.size() && cells[cell_idx].app == seq_apps[a]) {
+      agg_results.push_back(results[next++]);
+      page_results.push_back(results[next++]);
+      ++cell_idx;
+    }
+  }
+
+  auto seq_of = [&](const std::string& app) -> const harness::RunResult& {
+    for (std::size_t a = 0; a < seq_apps.size(); ++a) {
+      if (seq_apps[a] == app) return seq_results[a];
+    }
+    std::fprintf(stderr, "FATAL: no sequential baseline for %s\n",
+                 app.c_str());
+    std::exit(1);
+  };
+
+  std::printf("Ablation X7: flush aggregation vs per-message cost "
+              "(scale %.2f, %d nodes)\n\n",
+              opt.scale, opt.nodes);
+
+  std::FILE* json = std::fopen("BENCH_aggregation.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_aggregation.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"flush_aggregation\",\n"
+               "  \"scale\": %.3f,\n  \"nodes\": %d,\n"
+               "  \"per_message_us\": [15, 45, 100, 200],\n"
+               "  \"runs\": [",
+               opt.scale, opt.nodes);
+
+  bool first_json = true;
+  std::string cur_header;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const harness::RunResult& agg = agg_results[i];
+    const harness::RunResult& page = page_results[i];
+    const harness::RunResult& seq = seq_of(cell.app);
+    if (agg.checksum != seq.checksum || page.checksum != seq.checksum) {
+      std::fprintf(stderr,
+                   "FATAL: %s under %s diverged at per_message=%dus\n",
+                   cell.app.c_str(), protocols::to_string(cell.kind),
+                   cell.per_message_us);
+      return 1;
+    }
+
+    const std::string header =
+        cell.app + " under " + protocols::to_string(cell.kind);
+    if (header != cur_header) {
+      cur_header = header;
+      std::printf("%s:\n  %-8s %10s %10s %8s %10s %10s %8s %9s\n",
+                  header.c_str(), "per-msg", "per-page", "aggregated",
+                  "speedup", "msgs-page", "msgs-agg", "reduce", "recs/bat");
+    }
+    const double speedup =
+        static_cast<double>(page.elapsed) / static_cast<double>(agg.elapsed);
+    const std::uint64_t page_msgs = page.net.flush_class_messages();
+    const std::uint64_t agg_msgs = agg.net.flush_class_messages();
+    const double reduction =
+        agg_msgs == 0 ? 1.0
+                      : static_cast<double>(page_msgs) /
+                            static_cast<double>(agg_msgs);
+    const std::uint64_t batches = agg.counters.flush_batches.load();
+    const double recs_per_batch =
+        batches == 0
+            ? 0.0
+            : static_cast<double>(agg.counters.flush_batch_records.load()) /
+                  static_cast<double>(batches);
+    std::printf("  %-5dus %8.2fms %8.2fms %7.3fx %10llu %10llu %7.2fx %9.2f\n",
+                cell.per_message_us, sim::to_msec(page.elapsed),
+                sim::to_msec(agg.elapsed), speedup,
+                static_cast<unsigned long long>(page_msgs),
+                static_cast<unsigned long long>(agg_msgs), reduction,
+                recs_per_batch);
+    if (cell.per_message_us ==
+        kPerMessageUs[sizeof(kPerMessageUs) / sizeof(kPerMessageUs[0]) - 1]) {
+      std::printf("\n");
+    }
+
+    std::fprintf(
+        json,
+        "%s\n    {\"app\": \"%s\", \"protocol\": \"%s\", "
+        "\"per_message_us\": %d, \"elapsed_ms\": %.3f, "
+        "\"elapsed_no_agg_ms\": %.3f, \"speedup_vs_no_agg\": %.4f, "
+        "\"flush_messages\": %llu, \"flush_messages_no_agg\": %llu, "
+        "\"message_reduction\": %.4f, \"total_messages\": %llu, "
+        "\"total_messages_no_agg\": %llu, \"records_per_batch\": %.3f, "
+        "\"header_bytes_saved\": %llu, \"correct\": true}",
+        first_json ? "" : ",", cell.app.c_str(),
+        protocols::to_string(cell.kind), cell.per_message_us,
+        sim::to_msec(agg.elapsed), sim::to_msec(page.elapsed), speedup,
+        static_cast<unsigned long long>(agg_msgs),
+        static_cast<unsigned long long>(page_msgs), reduction,
+        static_cast<unsigned long long>(agg.net.table_messages()),
+        static_cast<unsigned long long>(page.net.table_messages()),
+        recs_per_batch,
+        static_cast<unsigned long long>(
+            agg.counters.flush_batch_header_bytes_saved.load()));
+    first_json = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_aggregation.json (%zu cells x {agg, per-page}, "
+              "all bit-exact vs sequential)\n",
+              cells.size());
+  return 0;
+}

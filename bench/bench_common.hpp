@@ -33,6 +33,9 @@ struct BenchOptions {
   /// Intra-run node scheduling (--gang=parallel|baton). Output is
   /// byte-identical across modes; a ctest pins it.
   sim::GangMode gang = sim::GangMode::Parallel;
+  /// Barrier-time flush aggregation (--no-aggregate disables). Checksums
+  /// are bit-identical either way; messages and times differ by design.
+  bool aggregate = true;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -62,13 +65,15 @@ struct BenchOptions {
           std::fprintf(stderr, "unknown gang mode: %s\n", v);
           std::exit(2);
         }
+      } else if (arg == "--no-aggregate") {
+        opt.aggregate = false;
       } else if (arg == "--quick") {
         opt.scale = 0.25;
         opt.iterations = 4;
       } else if (arg == "--help") {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
-            "--gang=parallel|baton --quick\n");
+            "--gang=parallel|baton --no-aggregate --quick\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -92,6 +97,7 @@ struct BenchOptions {
     cfg.num_nodes = nodes;
     cfg.seed = seed;
     cfg.gang = gang;
+    cfg.aggregate_flushes = aggregate;
     return cfg;
   }
 };

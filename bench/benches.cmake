@@ -22,11 +22,12 @@ updsm_add_bench(ablation_page_size)
 updsm_add_bench(ablation_nodes)
 updsm_add_bench(ablation_migration)
 updsm_add_bench(ablation_faults)
+updsm_add_bench(ablation_aggregation)
 
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
 target_link_libraries(micro_primitives PRIVATE
-  updsm::mem updsm::sim updsm::harness updsm::apps updsm::protocols
-  benchmark::benchmark)
+  updsm::mem updsm::sim updsm::dsm updsm::harness updsm::apps
+  updsm::protocols benchmark::benchmark)
 set_target_properties(micro_primitives PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 updsm_add_bench(sweep_matrix)

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "updsm/dsm/flush_batch.hpp"
 #include "updsm/harness/experiment.hpp"
 #include "updsm/mem/diff.hpp"
 #include "updsm/sim/cost_model.hpp"
@@ -141,6 +142,65 @@ void BM_DiffApply(benchmark::State& state) {
                           static_cast<std::int64_t>(diff.payload_bytes()));
 }
 BENCHMARK(BM_DiffApply)->Arg(8192);
+
+/// Diffs for a batch of `count` sparse pages, the barrier-flush hot shape.
+std::vector<Diff> make_batch_diffs(std::size_t count, std::size_t page) {
+  std::vector<Diff> diffs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto twin = make_page(page, static_cast<unsigned>(i));
+    const auto cur = make_current(twin, "sparse");
+    diffs.push_back(Diff::create(twin, cur));
+  }
+  return diffs;
+}
+
+/// Serializing one aggregated flush batch: begin/add x N/seal into a reused
+/// writer, exactly the per-(sender, destination) work a barrier performs.
+/// Arg: records per batch.
+void BM_FlushBatchEncode(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const auto diffs = make_batch_diffs(records, 8192);
+  updsm::dsm::FlushBatchWriter writer;
+  for (auto _ : state) {
+    writer.reset();
+    writer.begin(updsm::NodeId{0});
+    for (std::size_t i = 0; i < records; ++i) {
+      writer.add(updsm::PageId{static_cast<std::uint32_t>(i)},
+                 updsm::NodeId{0}, updsm::EpochId{1}, diffs[i]);
+    }
+    writer.seal();
+    benchmark::DoNotOptimize(writer.bytes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_FlushBatchEncode)->Arg(1)->Arg(8)->Arg(32);
+
+/// Walking a received batch in place and applying every record -- the
+/// receiver side of the aggregated path. Arg: records per batch.
+void BM_FlushBatchDecode(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const auto diffs = make_batch_diffs(records, 8192);
+  updsm::dsm::FlushBatchWriter writer;
+  writer.begin(updsm::NodeId{0});
+  for (std::size_t i = 0; i < records; ++i) {
+    writer.add(updsm::PageId{static_cast<std::uint32_t>(i)},
+               updsm::NodeId{0}, updsm::EpochId{1}, diffs[i]);
+  }
+  writer.seal();
+  auto target = make_page(8192, 99);
+  for (auto _ : state) {
+    updsm::dsm::FlushBatchReader reader(writer.bytes());
+    updsm::dsm::FlushRecordView rec;
+    while (reader.next(rec) == updsm::dsm::BatchReadStatus::Record) {
+      rec.apply(target);
+    }
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_FlushBatchDecode)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_CostModelComposites(benchmark::State& state) {
   const auto model = updsm::sim::CostModel::sp2_defaults();

@@ -48,6 +48,13 @@ struct ClusterConfig {
   /// it); the cluster silently downgrades to Baton for protocols whose
   /// fault handlers are not parallel-safe (sc-sw).
   sim::GangMode gang = sim::GangMode::Parallel;
+  /// Barrier-time message aggregation: stage every barrier flush (diffs to
+  /// home, update pushes) into one FlushBatch per (sender, destination)
+  /// pair per barrier instead of one Flush per page (§2.1.2: "all diffs
+  /// destined for a single node are aggregated into a single message").
+  /// Results are bit-identical either way -- only message counts and times
+  /// differ; a conformance test pins it. `--no-aggregate` on the tools.
+  bool aggregate_flushes = true;
 
   // --- fault injection ----------------------------------------------------
   /// Adversarial transport behaviour (see sim/fault_plan.hpp). Empty = the

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
 #include "updsm/dsm/config.hpp"
+#include "updsm/dsm/flush_batch.hpp"
 #include "updsm/dsm/stats.hpp"
 #include "updsm/dsm/trace.hpp"
 #include "updsm/mem/page_table.hpp"
@@ -132,6 +134,35 @@ class Runtime {
   /// Reliable control message (home-migration directives etc.).
   void control(NodeId from, NodeId to, std::uint64_t bytes);
 
+  // --- barrier-time message aggregation ------------------------------------
+  /// Delivery callback of one staged flush record: runs on delivery only,
+  /// with a view over the record's wire bytes (aggregated path) or over the
+  /// live diff itself (per-page path) -- the callback cannot tell which.
+  using FlushDeliverFn = std::function<void(const FlushRecordView&)>;
+
+  /// Routes one barrier-time flush carrying `diff` for `page` through the
+  /// aggregation layer. With config.aggregate_flushes the record is
+  /// serialized into the (from, to) batch (so `diff` may be recycled as
+  /// soon as this returns) and `on_deliver` is deferred until
+  /// seal_flush_batches() transmits the batch; otherwise a legacy per-page
+  /// flush() is sent immediately and `on_deliver` fires inline if it was
+  /// delivered. A batch containing any reliable record (a diff-to-home
+  /// flush) rides the reliable channel as a whole; piggybacked update
+  /// records are then delivered too, which only *reduces* later recovery
+  /// work and never changes results. Barrier context only (the staging
+  /// loops are node-ordered, so batch contents are deterministic).
+  void stage_flush(NodeId from, NodeId to, PageId page, NodeId creator,
+                   const mem::Diff& diff, bool reliable,
+                   FlushDeliverFn on_deliver);
+
+  /// Seals and transmits every non-empty staged batch, one FlushBatch
+  /// message per (sender, destination) pair, in (sender asc, destination
+  /// asc) order; invokes the per-record delivery callbacks of delivered
+  /// batches by iterating the sealed bytes in place. Controller context
+  /// (Cluster calls it between the arrive loop and the releases). No-op
+  /// when nothing is staged.
+  void seal_flush_batches();
+
   /// Records and charges one reliable one-way message (sync arrivals and
   /// releases, and internally the reliable legs of control/flush): sender
   /// pays one send trap per attempt. With no fault plan this is exactly
@@ -202,6 +233,14 @@ class Runtime {
   void suppress_dup(sim::MsgKind kind, NodeId from, NodeId to,
                     std::uint64_t bytes, sim::SimTime handler_extra = 0);
 
+  /// One aggregation slot per (sender, destination) pair, reused every
+  /// barrier (writer buffers keep their capacity across reset()).
+  struct StagedBatch {
+    FlushBatchWriter writer;
+    std::vector<FlushDeliverFn> deliver;  // one per staged record
+    bool reliable = false;                // any reliable record upgrades all
+  };
+
   [[nodiscard]] std::size_t check(NodeId n) const {
     UPDSM_CHECK_MSG(n.value() < static_cast<std::uint32_t>(num_nodes()),
                     "node " << n << " out of range");
@@ -220,6 +259,7 @@ class Runtime {
   std::unique_ptr<TraceLog> trace_;
   std::vector<PageStats> page_stats_;
   EpochId epoch_{0};
+  std::vector<StagedBatch> staged_;  // [from * num_nodes + to]
   std::vector<std::uint64_t> arrival_payload_;
   std::vector<std::uint64_t> release_payload_;
   bool measuring_ = false;

@@ -69,6 +69,18 @@ struct ProtocolCounters {
   Cell recovery_faults = 0;
   /// Transient node stalls injected between barriers by the fault plan.
   Cell node_stalls = 0;
+  /// Aggregated FlushBatch messages sealed and transmitted (one per
+  /// non-empty (sender, destination) pair per barrier).
+  Cell flush_batches = 0;
+  /// Page records carried by those batches (sum; mean = records / batches).
+  Cell flush_batch_records = 0;
+  /// Largest / smallest record count observed in one batch (min is 0 until
+  /// the first batch seals; merged by max/min, not summed).
+  Cell flush_batch_records_max = 0;
+  Cell flush_batch_records_min = 0;
+  /// Network header bytes saved by aggregation: (records - 1) * header per
+  /// batch -- the per-message headers the per-page path would have paid.
+  Cell flush_batch_header_bytes_saved = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;
@@ -96,6 +108,17 @@ struct ProtocolCounters {
     dup_suppressed += o.dup_suppressed;
     recovery_faults += o.recovery_faults;
     node_stalls += o.node_stalls;
+    flush_batches += o.flush_batches;
+    flush_batch_records += o.flush_batch_records;
+    flush_batch_records_max = flush_batch_records_max > o.flush_batch_records_max
+                                  ? flush_batch_records_max
+                                  : o.flush_batch_records_max;
+    if (flush_batch_records_min.load() == 0 ||
+        (o.flush_batch_records_min.load() != 0 &&
+         o.flush_batch_records_min < flush_batch_records_min)) {
+      flush_batch_records_min = o.flush_batch_records_min;
+    }
+    flush_batch_header_bytes_saved += o.flush_batch_header_bytes_saved;
     return *this;
   }
 };

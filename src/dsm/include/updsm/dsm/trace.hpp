@@ -13,7 +13,15 @@
 //   fault r|w n<node> p<page>   read/write segv on a page
 //   mprot n<node> p<page> none|r|rw
 //   req n<from>>n<to> <req>B <reply>B     request/reply pair
-//   flush n<from>>n<to> <bytes>B [drop]   one-way flush (drop = lost)
+//   flush n<from>>n<to> <bytes>B [drop]   one-way flush (drop = lost);
+//                                 <bytes> is the diff payload, so summing
+//                                 them (+ header per line) reconciles with
+//                                 NetworkStats' Flush counter
+//   flushbatch n<from>>n<to> <records>r <bytes>B [drop]
+//                                 aggregated per-destination flush batch;
+//                                 <records> page records, <bytes> the whole
+//                                 sealed batch (batch + record headers
+//                                 count as payload)
 //   ctl n<from>>n<to> <bytes>B            control message
 //
 // Fault-injection events (only with a non-empty ClusterConfig::faults; the

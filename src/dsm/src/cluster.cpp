@@ -195,10 +195,17 @@ void Cluster::do_barrier(std::uint64_t index) {
   protocol_->barrier_begin();
 
   // Phase A: every node captures its own epoch modifications. Strict node
-  // order; each hook reads only its own frames and publishes diffs/flushes.
+  // order; each hook reads only its own frames and publishes diffs/flushes
+  // (staged into per-destination batches when aggregation is on).
   for (int i = 0; i < n; ++i) {
     protocol_->barrier_arrive(NodeId{static_cast<std::uint32_t>(i)});
   }
+
+  // Seal and transmit the aggregated flush batches: one FlushBatch per
+  // (sender, destination) pair, in (sender, destination) order -- the same
+  // per-receiver record order the per-page path produced, so results stay
+  // bit-identical. No-op with aggregate_flushes off.
+  rt_.seal_flush_batches();
 
   // Reduction sanity: either nobody reduced at this barrier or everybody
   // did, with the same operator (the compiler emits matching calls).

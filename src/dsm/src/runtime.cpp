@@ -40,6 +40,9 @@ Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
                                                    config.fault_seed, n);
   }
   page_stats_.assign(num_pages, PageStats{});
+  if (config.aggregate_flushes) {
+    staged_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  }
   arrival_payload_.assign(static_cast<std::size_t>(n), 0);
   release_payload_.assign(static_cast<std::size_t>(n), 0);
   measure_mark_.assign(static_cast<std::size_t>(n), 0);
@@ -264,6 +267,123 @@ bool Runtime::flush(NodeId from, NodeId to, std::uint64_t bytes,
   // suppressed before the protocol sees it: updates apply exactly once.
   if (duplicate) suppress_dup(MsgKind::Flush, from, to, bytes);
   return true;
+}
+
+void Runtime::stage_flush(NodeId from, NodeId to, PageId page, NodeId creator,
+                          const mem::Diff& diff, bool reliable,
+                          FlushDeliverFn on_deliver) {
+  UPDSM_CHECK_MSG(from != to, "self-flush on node " << from);
+  if (staged_.empty()) {
+    // Aggregation off: the legacy per-page path, with the delivery effects
+    // expressed through the same callback interface (the view aliases the
+    // live diff; no serialization happens).
+    const bool delivered = flush(from, to, diff.wire_bytes(), reliable);
+    if (delivered && on_deliver) {
+      FlushRecordView rec;
+      rec.page = page;
+      rec.creator = creator;
+      rec.epoch = epoch_;
+      rec.runs = diff.runs();
+      rec.payload = diff.payload();
+      on_deliver(rec);
+    }
+    return;
+  }
+  StagedBatch& slot =
+      staged_[from.index() * static_cast<std::size_t>(num_nodes()) +
+              to.index()];
+  if (slot.writer.bytes().empty()) slot.writer.begin(from);
+  slot.writer.add(page, creator, epoch_, diff);
+  slot.deliver.push_back(std::move(on_deliver));
+  slot.reliable = slot.reliable || reliable;
+}
+
+void Runtime::seal_flush_batches() {
+  if (staged_.empty()) return;
+  const auto& net_costs = costs().net;
+  const std::size_t n = static_cast<std::size_t>(num_nodes());
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      StagedBatch& slot = staged_[f * n + t];
+      if (slot.writer.bytes().empty()) continue;  // empty-batch elision
+      const NodeId from{static_cast<std::uint32_t>(f)};
+      const NodeId to{static_cast<std::uint32_t>(t)};
+      slot.writer.seal();
+      const auto bytes = slot.writer.bytes();
+      const std::uint64_t records = slot.writer.record_count();
+
+      // Record census: once per batch, never per transmission attempt, so
+      // fault-injected retries cannot inflate flush_class_records().
+      net_.note_records(MsgKind::FlushBatch, records);
+      ++counters_.flush_batches;
+      counters_.flush_batch_records += records;
+      if (records > counters_.flush_batch_records_max.load()) {
+        counters_.flush_batch_records_max = records;
+      }
+      const std::uint64_t cur_min = counters_.flush_batch_records_min.load();
+      if (cur_min == 0 || records < cur_min) {
+        counters_.flush_batch_records_min = records;
+      }
+      counters_.flush_batch_header_bytes_saved +=
+          (records - 1) * net_costs.header_bytes;
+
+      bool delivered = true;
+      bool duplicate = false;
+      if (slot.reliable) {
+        // Any diff-to-home record makes the whole batch reliable; with no
+        // fault plan reliable_send degenerates to record + send trap.
+        (void)reliable_send(MsgKind::FlushBatch, from, to, bytes.size());
+      } else {
+        net_.record(MsgKind::FlushBatch, from, to, bytes.size());
+        clock(from).advance(TimeCat::Os, net_costs.send_trap);
+        os(from).count_send();
+        delivered = net_.flush_delivered(to, MsgKind::FlushBatch);
+        if (fault_plan_ != nullptr) {
+          // Drawn unconditionally, mirroring flush(): the plan's stream is
+          // independent of the legacy flush_drop_rate stream.
+          const sim::FaultDecision fate =
+              fault_plan_->next(MsgKind::FlushBatch, from, to);
+          if (fate.drop) {
+            if (delivered) net_.record_drop(MsgKind::FlushBatch);
+            delivered = false;
+          } else if (delivered) {
+            duplicate = fate.duplicate;
+            if (fate.extra_delay > 0) net_.note_delay();
+          }
+        }
+      }
+      if (trace_) {
+        trace_->emit("flushbatch n" + std::to_string(from.value()) + ">n" +
+                     std::to_string(to.value()) + " " +
+                     std::to_string(records) + "r " +
+                     std::to_string(bytes.size()) + "B" +
+                     (delivered ? "" : " drop"));
+      }
+      if (delivered) {
+        clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+        os(to).count_recv();
+        if (duplicate) {
+          suppress_dup(MsgKind::FlushBatch, from, to, bytes.size());
+        }
+        // Iterate the sealed bytes in place: every delivery round-trips
+        // the wire format (the reader's views feed the callbacks directly).
+        FlushBatchReader reader(bytes);
+        UPDSM_CHECK(reader.header_ok());
+        FlushRecordView rec;
+        for (const FlushDeliverFn& fn : slot.deliver) {
+          UPDSM_CHECK(reader.next(rec) == BatchReadStatus::Record);
+          if (fn) fn(rec);
+        }
+        UPDSM_CHECK(reader.next(rec) == BatchReadStatus::End);
+      }
+      // A dropped batch loses *all* its records; the protocols heal through
+      // the same per-record recovery as lost per-page flushes (bar version-
+      // index invalidation, lmw lazy refetch).
+      slot.writer.reset();
+      slot.deliver.clear();
+      slot.reliable = false;
+    }
+  }
 }
 
 void Runtime::control(NodeId from, NodeId to, std::uint64_t bytes) {

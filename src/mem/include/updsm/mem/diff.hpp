@@ -62,6 +62,21 @@ class Diff {
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
   [[nodiscard]] std::span<const DiffRun> runs() const { return runs_; }
 
+  /// Concatenated run payloads, in run order (the wire body of the diff).
+  [[nodiscard]] std::span<const std::byte> payload() const { return data_; }
+
+  /// Rebuilds this diff from an already-encoded run table + payload -- the
+  /// receive side of the aggregated wire format. Reuses whatever capacity
+  /// the object holds; `payload` must be exactly the runs' summed length.
+  void assign(std::span<const DiffRun> runs,
+              std::span<const std::byte> payload) {
+    std::uint64_t total = 0;
+    for (const DiffRun& r : runs) total += r.length;
+    UPDSM_CHECK(total == payload.size());
+    runs_.assign(runs.begin(), runs.end());
+    data_.assign(payload.begin(), payload.end());
+  }
+
   /// Bytes of modified payload.
   [[nodiscard]] std::uint64_t payload_bytes() const { return data_.size(); }
 

@@ -322,7 +322,9 @@ void BarProtocol::barrier_arrive(NodeId n) {
 
     if (n != gp.home) {
       // Flush the diff to the home: reliable (rides the barrier channel).
-      (void)rt_->flush(n, gp.home, diff.wire_bytes(), /*reliable=*/true);
+      // The home's copy travels via gp.queued below; the staged record only
+      // carries the cost, so no delivery callback is needed.
+      rt_->stage_flush(n, gp.home, page, n, diff, /*reliable=*/true, {});
     } else {
       gp.home_wrote = true;
     }
@@ -330,17 +332,23 @@ void BarProtocol::barrier_arrive(NodeId n) {
     if (update_mode()) {
       // Push to consumers. The home receives the diff via the reliable
       // flush above (when we are not the home); everyone else in the
-      // copyset gets an unreliable update push.
+      // copyset gets an unreliable update push. The inbox entry is built
+      // on delivery only (a dropped batch loses all its records).
       gp.copyset.for_each([&](NodeId member) {
         if (member == n) return;
         if (member == gp.home && n != gp.home) return;  // already flushed
         ++rt_->counters().updates_sent;
-        if (!rt_->flush(n, member, diff.wire_bytes())) return;  // dropped
-        ++rt_->counters().updates_received;
-        // Copy through a recycled diff so the inbox copy reuses capacity.
-        Diff copy = diff_pool_.take();
-        copy = diff;
-        node(member).inbox.push_back(InboxEntry{page, n, std::move(copy)});
+        rt_->stage_flush(
+            n, member, page, n, diff, /*reliable=*/false,
+            [this, member](const dsm::FlushRecordView& rec) {
+              ++rt_->counters().updates_received;
+              // Copy through a recycled diff so the inbox copy reuses
+              // capacity.
+              Diff copy = diff_pool_.take();
+              rec.decode_into(copy);
+              node(member).inbox.push_back(
+                  InboxEntry{rec.page, rec.creator, std::move(copy)});
+            });
       });
     }
 

@@ -265,21 +265,32 @@ void LmwProtocol::barrier_arrive(NodeId n) {
     rt_->add_arrival_payload(n, WriteNotice::kWireBytes);
 
     if (use_updates_) {
-      // Push the diff, unreliably, to every known consumer.
+      // Push the diff, unreliably, to every known consumer; storage happens
+      // on delivery only (a dropped batch loses all its records and heals
+      // through the lazy refetch path).
       const dsm::Copyset consumers = st.pages[page.index()].copyset;
       consumers.for_each([&](NodeId member) {
         if (member == n) return;
         ++rt_->counters().updates_sent;
-        if (!rt_->flush(n, member, diff.wire_bytes())) return;  // dropped
-        ++rt_->counters().updates_received;
-        ++rt_->counters().updates_stored;
-        // Out-of-order update storage: the very machinery the paper blames
-        // for lmw-u's barnes/swm regression; it is charged per byte here.
-        rt_->charge_dsm(member, dsm_costs.update_store_fixed,
-                        dsm_costs.update_store_per_byte_ns,
-                        diff.wire_bytes(), /*sigio=*/true);
-        node(member).stored_updates.put_copy(
-            DiffStore::Key{page, epoch, n}, diff);
+        rt_->stage_flush(
+            n, member, page, n, diff, /*reliable=*/false,
+            [this, member](const dsm::FlushRecordView& rec) {
+              ++rt_->counters().updates_received;
+              ++rt_->counters().updates_stored;
+              // Out-of-order update storage: the very machinery the paper
+              // blames for lmw-u's barnes/swm regression; charged per byte.
+              rt_->charge_dsm(member, rt_->costs().dsm.update_store_fixed,
+                              rt_->costs().dsm.update_store_per_byte_ns,
+                              rec.diff_wire_bytes(), /*sigio=*/true);
+              // Materialize into a recycled diff so the stored copy reuses
+              // pooled capacity, exactly like put_copy on the legacy path.
+              NodeState& dst = node(member);
+              Diff stored = dst.stored_updates.take_scratch();
+              rec.decode_into(stored);
+              dst.stored_updates.put(
+                  DiffStore::Key{rec.page, rec.epoch, rec.creator},
+                  std::move(stored));
+            });
       });
     }
 

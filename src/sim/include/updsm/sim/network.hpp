@@ -40,8 +40,9 @@ enum class MsgKind : int {
   SyncArrive = 3,    // barrier arrival at the master
   SyncRelease = 4,   // barrier release from the master
   Control = 5,       // home-migration directives etc.
+  FlushBatch = 6,    // aggregated per-destination flush (many page records)
 };
-inline constexpr std::size_t kMsgKindCount = 6;
+inline constexpr std::size_t kMsgKindCount = 7;
 
 [[nodiscard]] constexpr const char* to_string(MsgKind k) {
   switch (k) {
@@ -57,6 +58,8 @@ inline constexpr std::size_t kMsgKindCount = 6;
       return "sync-release";
     case MsgKind::Control:
       return "control";
+    case MsgKind::FlushBatch:
+      return "flushbatch";
   }
   return "?";
 }
@@ -65,6 +68,7 @@ struct MsgCounter {
   std::uint64_t count = 0;
   std::uint64_t bytes = 0;    // payload + header
   std::uint64_t dropped = 0;  // sent (counted above) but never delivered
+  std::uint64_t records = 0;  // page records carried (batched kinds only)
 };
 
 /// Aggregate traffic statistics for a run.
@@ -79,10 +83,23 @@ struct NetworkStats {
 
   /// Table-1 "Messages": requests + flushes + sync messages (replies are
   /// implied by requests and not double-counted, per the paper's caption).
+  /// An aggregated FlushBatch is one message however many records it packs.
   [[nodiscard]] std::uint64_t table_messages() const {
     return of(MsgKind::DataRequest).count + of(MsgKind::Flush).count +
-           of(MsgKind::SyncArrive).count + of(MsgKind::SyncRelease).count +
-           of(MsgKind::Control).count;
+           of(MsgKind::FlushBatch).count + of(MsgKind::SyncArrive).count +
+           of(MsgKind::SyncRelease).count + of(MsgKind::Control).count;
+  }
+
+  /// Flush-class messages: per-page flushes plus aggregated batches. With
+  /// aggregation on this is ~one per (sender, destination) pair per barrier.
+  [[nodiscard]] std::uint64_t flush_class_messages() const {
+    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).count;
+  }
+
+  /// Flush-class page records: each per-page flush carries one, a batch
+  /// carries `records`. Fault-free this is invariant under aggregation.
+  [[nodiscard]] std::uint64_t flush_class_records() const {
+    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).records;
   }
 
   /// Table-1 "Data (kbytes)": every byte that crossed the wire.
@@ -130,8 +147,18 @@ class Network {
   /// destination's stream no matter which nodes sent the other flushes or
   /// in which order other destinations were hit. (All flushes today are
   /// issued from the barrier's node-ordered loops, so the per-destination
-  /// arrival sequence itself is deterministic.)
-  [[nodiscard]] bool flush_delivered(NodeId to = NodeId{0});
+  /// arrival sequence itself is deterministic.) `kind` selects where a loss
+  /// is accounted: per-page flushes drop under Flush, aggregated batches
+  /// under FlushBatch; both consume the same per-destination stream, so the
+  /// k-th flush-class message at a destination draws the k-th value
+  /// whichever path produced it.
+  [[nodiscard]] bool flush_delivered(NodeId to = NodeId{0},
+                                     MsgKind kind = MsgKind::Flush);
+
+  /// Accounts `records` page records carried by a message of `kind` (called
+  /// once per batch, not per transmission attempt, so retries never inflate
+  /// the record census). Thread-safe like record().
+  void note_records(MsgKind kind, std::uint64_t records);
 
   /// Marks the last recorded message of `kind` as lost in transit (it was
   /// sent, so record() already counted it). Thread-safe like record().

@@ -36,12 +36,16 @@ SimTime Network::record(MsgKind kind, NodeId from, NodeId to,
   return costs_.wire_time(payload_bytes);
 }
 
-bool Network::flush_delivered(NodeId to) {
+bool Network::flush_delivered(NodeId to, MsgKind kind) {
   if (costs_.flush_drop_rate <= 0.0) return true;
   auto& rng = drop_rngs_[to.value() % drop_rngs_.size()];
   const bool delivered = rng.uniform() >= costs_.flush_drop_rate;
-  if (!delivered) record_drop(MsgKind::Flush);
+  if (!delivered) record_drop(kind);
   return delivered;
+}
+
+void Network::note_records(MsgKind kind, std::uint64_t records) {
+  my_shard().stats.by_kind[static_cast<std::size_t>(kind)].records += records;
 }
 
 void Network::record_drop(MsgKind kind) {
@@ -59,6 +63,7 @@ const NetworkStats& Network::stats() const {
       merged_.by_kind[k].count += shard.stats.by_kind[k].count;
       merged_.by_kind[k].bytes += shard.stats.by_kind[k].bytes;
       merged_.by_kind[k].dropped += shard.stats.by_kind[k].dropped;
+      merged_.by_kind[k].records += shard.stats.by_kind[k].records;
     }
     merged_.injected_dups += shard.stats.injected_dups;
     merged_.injected_delays += shard.stats.injected_delays;

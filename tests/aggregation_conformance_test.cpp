@@ -1,0 +1,291 @@
+// Aggregation conformance: barrier-time flush batching is a transport-level
+// optimization, so every observable *result* must be bit-identical with it
+// on or off -- across the six paper protocols, both gang modes, and a
+// battery of fault plans -- while the *traffic* shape changes exactly as
+// designed (one flush-class message per (sender, destination) per barrier,
+// same total record census).
+//
+// Plan count defaults to 8; UPDSM_AGG_PLANS=<n> shrinks (or grows) the
+// battery, which CI uses to keep the sanitizer job inside its time budget.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "updsm/common/rng.hpp"
+#include "updsm/harness/experiment.hpp"
+#include "updsm/harness/parallel_grid.hpp"
+
+namespace updsm {
+namespace {
+
+using protocols::ProtocolKind;
+using sim::GangMode;
+using sim::MsgKind;
+
+struct Scenario {
+  const char* app;
+  std::vector<ProtocolKind> kinds;
+};
+
+// Same roster as the fault-conformance soak: tomcat's shifting write set
+// excludes the overdrive predictors (bar-s / bar-m).
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> s{
+      {"jacobi",
+       {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+        ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM}},
+      {"tomcat",
+       {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
+        ProtocolKind::BarU}},
+  };
+  return s;
+}
+
+int plan_count() {
+  if (const char* env = std::getenv("UPDSM_AGG_PLANS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+/// Same deterministic plan construction as the fault conformance battery,
+/// offset so the two suites exercise different draws.
+std::string make_plan(int i) {
+  std::uint64_t x = 0x1998'0330u + 7777u + static_cast<std::uint64_t>(i);
+  auto draw = [&x] {
+    x = splitmix64(x);
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  };
+  auto pct = [&](double lo, double hi) {
+    const double p = lo + draw() * (hi - lo);
+    return std::to_string(p).substr(0, 6);
+  };
+  switch (i % 4) {
+    case 0:
+      return "drop=" + pct(0.02, 0.15);
+    case 1:
+      return "drop=" + pct(0.01, 0.1) + ",dup=" + pct(0.01, 0.1) +
+             ",delay=" + pct(0.01, 0.1) + ",delay_us=" +
+             std::to_string(50 + static_cast<int>(draw() * 400));
+    case 2:  // hammer the aggregated flush path directly
+      return std::string("kind=flushbatch,drop=") + pct(0.1, 0.3) +
+             ";drop=" + pct(0.0, 0.05);
+    default:
+      return "from=0,to=1,drop=" + pct(0.1, 0.3) + ";drop=" +
+             pct(0.01, 0.08) + ";node=1,stall=" + pct(0.1, 0.4) +
+             ",stall_us=" + std::to_string(100 + static_cast<int>(draw() * 800));
+  }
+}
+
+harness::RunResult run_one(const char* app, ProtocolKind kind, GangMode gang,
+                           bool aggregate, const std::string& plan,
+                           std::uint64_t fault_seed) {
+  apps::AppParams params;
+  params.scale = 0.1;
+  params.warmup_iterations = 4;
+  params.measured_iterations = 2;
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gang = gang;
+  cfg.aggregate_flushes = aggregate;
+  if (!plan.empty()) {
+    cfg.faults = sim::FaultSpec::parse(plan);
+    cfg.fault_seed = fault_seed;
+  }
+  return harness::run_app(app, kind, cfg, params);
+}
+
+// Fault-free: aggregation must preserve the computation and the protocol's
+// logical traffic exactly -- same checksums, same barrier count, same
+// protocol work counters, same record census -- while packing records into
+// strictly fewer (or equal) wire messages.
+TEST(AggregationConformanceTest, FaultFreeRunsAreEquivalent) {
+  for (const Scenario& sc : scenarios()) {
+    for (const ProtocolKind kind : sc.kinds) {
+      for (const GangMode gang : {GangMode::Baton, GangMode::Parallel}) {
+        const harness::RunResult off =
+            run_one(sc.app, kind, gang, false, "", 0);
+        const harness::RunResult on = run_one(sc.app, kind, gang, true, "", 0);
+        const std::string ctx = std::string(sc.app) + " under " +
+                                protocols::to_string(kind) +
+                                (gang == GangMode::Baton ? " baton" : " par");
+        ASSERT_NE(off.checksum, 0.0) << ctx;
+        EXPECT_EQ(on.checksum, off.checksum) << ctx;
+        EXPECT_EQ(on.barriers, off.barriers) << ctx;
+
+        // Protocol-level work is untouched by the transport change.
+        EXPECT_EQ(on.counters.diffs_created.load(),
+                  off.counters.diffs_created.load())
+            << ctx;
+        EXPECT_EQ(on.counters.updates_sent.load(),
+                  off.counters.updates_sent.load())
+            << ctx;
+        EXPECT_EQ(on.counters.updates_received.load(),
+                  off.counters.updates_received.load())
+            << ctx;
+        EXPECT_EQ(on.counters.updates_applied.load(),
+                  off.counters.updates_applied.load())
+            << ctx;
+        EXPECT_EQ(on.counters.pages_fetched.load(),
+                  off.counters.pages_fetched.load())
+            << ctx;
+        EXPECT_EQ(on.counters.migrations.load(), off.counters.migrations.load())
+            << ctx;
+
+        // Traffic shape: every per-page flush became a record inside some
+        // batch; no legacy flush messages remain; the batch count can only
+        // shrink the message total.
+        EXPECT_EQ(on.net.of(MsgKind::Flush).count, 0u) << ctx;
+        EXPECT_EQ(on.net.of(MsgKind::FlushBatch).records,
+                  off.net.of(MsgKind::Flush).count)
+            << ctx;
+        EXPECT_EQ(on.net.flush_class_records(), off.net.flush_class_records())
+            << ctx;
+        EXPECT_LE(on.net.flush_class_messages(), off.net.flush_class_messages())
+            << ctx;
+        // The non-flush traffic (fetches, syncs, control) is untouched.
+        EXPECT_EQ(on.net.of(MsgKind::DataRequest).count,
+                  off.net.of(MsgKind::DataRequest).count)
+            << ctx;
+        EXPECT_EQ(on.net.of(MsgKind::DataReply).count,
+                  off.net.of(MsgKind::DataReply).count)
+            << ctx;
+        EXPECT_EQ(on.net.of(MsgKind::SyncArrive).count,
+                  off.net.of(MsgKind::SyncArrive).count)
+            << ctx;
+        EXPECT_EQ(on.net.of(MsgKind::SyncRelease).count,
+                  off.net.of(MsgKind::SyncRelease).count)
+            << ctx;
+        // Batch bookkeeping agrees with itself.
+        EXPECT_EQ(on.counters.flush_batches.load(),
+                  on.net.of(MsgKind::FlushBatch).count)
+            << ctx;
+        EXPECT_EQ(on.counters.flush_batch_records.load(),
+                  on.net.of(MsgKind::FlushBatch).records)
+            << ctx;
+        if (on.counters.flush_batches.load() > 0) {
+          EXPECT_GE(on.counters.flush_batch_records_min.load(), 1u) << ctx;
+          EXPECT_GE(on.counters.flush_batch_records_max.load(),
+                    on.counters.flush_batch_records_min.load())
+              << ctx;
+        }
+      }
+    }
+  }
+}
+
+// Under faults, aggregation changes which packets carry which records, so
+// the loss pattern differs -- but the *result* must still match the
+// fault-free baseline bit-for-bit, and both gang modes must agree on every
+// observable for the aggregated path, exactly as they do for the per-page
+// path.
+TEST(AggregationConformanceTest, AggregatedRunsBitExactUnderFaults) {
+  const int plans = plan_count();
+  for (const Scenario& sc : scenarios()) {
+    for (const ProtocolKind kind : sc.kinds) {
+      const harness::RunResult base =
+          run_one(sc.app, kind, GangMode::Parallel, true, "", 0);
+      for (int i = 0; i < plans; ++i) {
+        const std::string plan = make_plan(i);
+        const std::uint64_t seed = 4000u + static_cast<std::uint64_t>(i);
+        const harness::RunResult faulty =
+            run_one(sc.app, kind, GangMode::Parallel, true, plan, seed);
+        const std::string ctx = std::string(sc.app) + " under " +
+                                protocols::to_string(kind) + " plan " +
+                                std::to_string(i) + " [" + plan + "]";
+        EXPECT_EQ(faulty.checksum, base.checksum) << ctx;
+        EXPECT_EQ(faulty.barriers, base.barriers) << ctx;
+        EXPECT_GE(faulty.net.total_dropped(),
+                  faulty.counters.reliable_retries.load())
+            << ctx;
+        EXPECT_GE(faulty.counters.dup_suppressed.load(),
+                  faulty.net.injected_dups)
+            << ctx;
+
+        const harness::RunResult baton =
+            run_one(sc.app, kind, GangMode::Baton, true, plan, seed);
+        EXPECT_EQ(baton.checksum, faulty.checksum) << ctx;
+        EXPECT_EQ(baton.elapsed, faulty.elapsed) << ctx;
+        EXPECT_EQ(baton.net.total_bytes(), faulty.net.total_bytes()) << ctx;
+        EXPECT_EQ(baton.net.total_dropped(), faulty.net.total_dropped()) << ctx;
+        EXPECT_EQ(baton.counters.flush_batches.load(),
+                  faulty.counters.flush_batches.load())
+            << ctx;
+        EXPECT_EQ(baton.counters.flush_batch_records.load(),
+                  faulty.counters.flush_batch_records.load())
+            << ctx;
+      }
+    }
+  }
+}
+
+// Batcher determinism across worker counts: the same task list executed on
+// 1 worker and 4 workers must produce identical results cell-for-cell --
+// the aggregation layer keeps no cross-run state.
+TEST(AggregationConformanceTest, GridResultsIdenticalAcrossJobs) {
+  std::vector<std::function<harness::RunResult()>> tasks;
+  for (const Scenario& sc : scenarios()) {
+    for (const ProtocolKind kind : sc.kinds) {
+      tasks.push_back([app = sc.app, kind] {
+        return run_one(app, kind, GangMode::Parallel, true, "", 0);
+      });
+    }
+  }
+  const std::vector<harness::RunResult> one = harness::run_grid(tasks, 1);
+  const std::vector<harness::RunResult> four = harness::run_grid(tasks, 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].checksum, four[i].checksum) << "cell " << i;
+    EXPECT_EQ(one[i].elapsed, four[i].elapsed) << "cell " << i;
+    EXPECT_EQ(one[i].net.total_bytes(), four[i].net.total_bytes())
+        << "cell " << i;
+    EXPECT_EQ(one[i].counters.flush_batches.load(),
+              four[i].counters.flush_batches.load())
+        << "cell " << i;
+    EXPECT_EQ(one[i].counters.flush_batch_records.load(),
+              four[i].counters.flush_batch_records.load())
+        << "cell " << i;
+  }
+}
+
+// The headline aggregation claim at the traffic level: for the home-based
+// update protocols, the steady-state flush-class message count equals the
+// number of active (sender, destination) pairs per barrier, not the number
+// of pages -- i.e. batches actually coalesce multi-page flows.
+TEST(AggregationConformanceTest, BatchesCoalesceMultiPageFlows) {
+  // Needs a communication pattern where a sender dirties several pages
+  // bound for the same destination within one barrier interval; fft's
+  // transpose is exactly that (jacobi's single boundary page per neighbor
+  // never yields multi-record batches, by design).
+  auto run_at = [](ProtocolKind kind, bool aggregate) {
+    apps::AppParams params;
+    params.scale = 0.25;
+    params.warmup_iterations = 2;
+    params.measured_iterations = 2;
+    dsm::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.aggregate_flushes = aggregate;
+    return harness::run_app("fft", kind, cfg, params);
+  };
+  for (const ProtocolKind kind :
+       {ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM}) {
+    const harness::RunResult off = run_at(kind, false);
+    const harness::RunResult on = run_at(kind, true);
+    const std::string ctx = protocols::to_string(kind);
+    ASSERT_GT(on.net.of(MsgKind::FlushBatch).count, 0u) << ctx;
+    // Strictly fewer messages than per-page records, i.e. real coalescing.
+    EXPECT_LT(on.net.flush_class_messages(), off.net.flush_class_messages())
+        << ctx;
+    EXPECT_GT(on.counters.flush_batch_records_max.load(), 1u) << ctx;
+    // Fewer wire messages means fewer fixed per-message charges: the
+    // aggregated run must not be slower.
+    EXPECT_LE(on.elapsed, off.elapsed) << ctx;
+  }
+}
+
+}  // namespace
+}  // namespace updsm

@@ -222,6 +222,7 @@ TEST(FlushDropAccountingTest, LegacyDropRateFeedsStatsAndTrace) {
   cfg.num_nodes = 2;
   cfg.page_size = 1024;
   cfg.trace = true;
+  cfg.aggregate_flushes = false;  // this test pins the per-page path
   cfg.costs.net.flush_drop_rate = 1.0;  // lose every update push
   mem::SharedHeap heap(cfg.page_size);
   const GlobalAddr a = heap.alloc_page_aligned(256 * 8, "x");
@@ -256,6 +257,51 @@ TEST(FlushDropAccountingTest, LegacyDropRateFeedsStatsAndTrace) {
     }
   }
   EXPECT_EQ(trace_drops, net.of(MsgKind::Flush).dropped);
+}
+
+// The same knob with aggregation on: losses land on FlushBatch (the whole
+// per-destination batch vanishes), with matching flushbatch trace lines,
+// and the computation still survives (version-index recovery).
+TEST(FlushDropAccountingTest, LegacyDropRateDropsWholeBatches) {
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.page_size = 1024;
+  cfg.trace = true;
+  cfg.aggregate_flushes = true;
+  cfg.costs.net.flush_drop_rate = 1.0;  // lose every update batch
+  mem::SharedHeap heap(cfg.page_size);
+  const GlobalAddr a = heap.alloc_page_aligned(256 * 8, "x");
+  dsm::Cluster cluster(cfg, heap,
+                       protocols::make_protocol(protocols::ProtocolKind::BarU));
+  cluster.run([&](dsm::NodeContext& ctx) {
+    auto x = ctx.array<double>(a, 256);
+    for (int iter = 1; iter <= 3; ++iter) {
+      ctx.iteration_begin();
+      if (ctx.node() == 0) {
+        auto w = x.write_view(0, 256);
+        for (std::size_t i = 0; i < 256; ++i) w[i] = iter * 100.0 + i;
+      }
+      ctx.barrier();
+      if (ctx.node() == 1) {
+        EXPECT_EQ(x.get(0), iter * 100.0) << "stale read after lost batch";
+      }
+      ctx.barrier();
+    }
+  });
+  const sim::NetworkStats& net = cluster.runtime().net().stats();
+  EXPECT_GT(net.of(MsgKind::FlushBatch).dropped, 0u);
+  EXPECT_EQ(net.of(MsgKind::Flush).count, 0u)
+      << "aggregation leaves no per-page flushes";
+  EXPECT_EQ(net.total_dropped(), net.of(MsgKind::FlushBatch).dropped)
+      << "only flush batches ride the lossy legacy channel";
+  std::uint64_t trace_drops = 0;
+  for (const std::string& line : cluster.runtime().trace()->lines()) {
+    if (line.compare(0, 10, "flushbatch") == 0 && line.size() >= 4 &&
+        line.compare(line.size() - 4, 4, "drop") == 0) {
+      ++trace_drops;
+    }
+  }
+  EXPECT_EQ(trace_drops, net.of(MsgKind::FlushBatch).dropped);
 }
 
 }  // namespace

@@ -39,6 +39,7 @@ struct Options {
   std::string faults;  // fault-spec text or a file containing one
   std::uint64_t fault_seed = 0;
   bool migration = true;
+  bool aggregate = true;
   bool breakdown = false;
   bool layout = false;
   int hot_pages = 0;
@@ -65,6 +66,9 @@ struct Options {
       "                    (see sim/fault_plan.hpp for the grammar)\n"
       "  --fault-seed=N    seed for the fault plan's decision streams\n"
       "  --no-migration    disable runtime home migration\n"
+      "  --no-aggregate    send one flush per page instead of one\n"
+      "                    aggregated batch per (sender, destination)\n"
+      "                    pair per barrier (results are bit-identical)\n"
       "  --gang=MODE       parallel|baton node scheduling (default\n"
       "                    parallel; output is byte-identical)\n"
       "  --seed=N          RNG seed\n"
@@ -128,6 +132,8 @@ Options parse(int argc, char** argv) {
       }
     } else if (arg == "--no-migration") {
       opt.migration = false;
+    } else if (arg == "--no-aggregate") {
+      opt.aggregate = false;
     } else if (const char* v = value("--hot-pages=")) {
       opt.hot_pages = std::atoi(v);
     } else if (arg == "--breakdown") {
@@ -155,6 +161,7 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.seed = opt.seed;
   cfg.gang = opt.gang;
   cfg.home_migration = opt.migration;
+  cfg.aggregate_flushes = opt.aggregate;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
   if (!opt.faults.empty()) {
     cfg.faults = sim::FaultSpec::parse(load_fault_spec(opt.faults));
