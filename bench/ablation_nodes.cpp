@@ -1,39 +1,241 @@
-// X3: node-count scaling. The paper reports 8-processor numbers only; this
-// ablation sweeps 2..16 nodes for the four base protocols on a stencil
-// (sor) and a communication-heavy app (fft) to show each protocol's
-// scaling shape.
-#include <iostream>
+// X3: node-count scaling to 1024. The paper reports 8-processor numbers
+// only; this ablation sweeps a parametrized node list (default 8, 64, 256,
+// 1024) for the four base protocols on a stencil (jacobi) and a
+// communication-heavy app (fft), running every point twice -- flat master
+// barrier with unicast flushes, then tree barrier (fanout 4) with relayed
+// flush dissemination -- and verifying bit-exactness against the
+// sequential baseline at every point. Emits BENCH_nodes.json (recording
+// host_cores like BENCH_gang.json) with per-node-count barrier wait time,
+// flush message counts, and the flat-vs-tree speedup.
+//
+// Deterministic by construction: virtual-time results depend only on
+// (workload, config), never on --jobs or wall clock; the
+// bench_nodes_determinism ctest pins byte-identical output.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main(int argc, char** argv) {
-  using namespace updsm;
-  using protocols::ProtocolKind;
-  const auto opt = bench::BenchOptions::parse(argc, argv);
+namespace {
 
-  std::cout << "Ablation X3: speedup vs node count\n\n";
-  for (const auto app : {"sor", "fft", "swm"}) {
-    harness::TextTable table({"nodes", "lmw-i", "lmw-u", "bar-i", "bar-u"});
-    for (const int nodes : {2, 4, 8, 16}) {
-      dsm::ClusterConfig cfg = opt.cluster_config();
-      cfg.num_nodes = nodes;
-      const auto params = opt.app_params();
-      const auto seq = harness::run_sequential(app, cfg, params);
-      std::vector<std::string> row{std::to_string(nodes)};
-      for (const auto kind : protocols::base_protocols()) {
-        const auto par = harness::run_app(app, kind, cfg, params);
-        if (par.checksum != seq.checksum) {
-          std::cerr << "FATAL: divergence for " << app << " at " << nodes
-                    << " nodes under " << protocols::to_string(kind) << "\n";
-          return 1;
-        }
-        row.push_back(harness::fmt(harness::speedup(par, seq)));
-      }
-      table.add_row(std::move(row));
+using namespace updsm;
+
+constexpr const char* kApps[] = {"jacobi", "fft"};
+
+struct Cell {
+  std::string app;
+  protocols::ProtocolKind kind;
+  int nodes;
+};
+
+std::vector<int> parse_node_list(const char* spec) {
+  std::vector<int> nodes;
+  int value = 0;
+  bool have = false;
+  for (const char* p = spec;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + (*p - '0');
+      have = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (have) nodes.push_back(value);
+      value = 0;
+      have = false;
+      if (*p == '\0') break;
+    } else {
+      std::fprintf(stderr, "bad --nodes-list entry: %s\n", spec);
+      std::exit(2);
     }
-    std::cout << app << ":\n";
-    table.print(std::cout);
-    std::cout << '\n';
   }
+  return nodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using protocols::ProtocolKind;
+
+  // --nodes-list is specific to this bench; strip it before the shared
+  // parser (which rejects unknown options).
+  std::vector<int> node_list = {8, 64, 256, 1024};
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes-list=", 13) == 0) {
+      node_list = parse_node_list(argv[i] + 13);
+    } else {
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("extra option: --nodes-list=N,N,... "
+                    "(default 8,64,256,1024)\n");
+      }
+      rest.push_back(argv[i]);
+    }
+  }
+  auto opt =
+      bench::BenchOptions::parse(static_cast<int>(rest.size()), rest.data());
+  if (node_list.empty()) {
+    std::fprintf(stderr, "--nodes-list must name at least one node count\n");
+    return 2;
+  }
+  for (const int n : node_list) {
+    if (n < 1 || n > static_cast<int>(dsm::kMaxNodes)) {
+      std::fprintf(stderr, "--nodes-list entry %d outside [1, %d]\n", n,
+                   static_cast<int>(dsm::kMaxNodes));
+      return 2;
+    }
+  }
+  // 2 apps x |nodes| x 4 protocols x {flat, tree}; keep the sweep snappy
+  // (the interesting signal is message/time scaling, not problem size).
+  if (opt.scale == 1.0) opt.scale = 0.5;
+  const int tree_fanout = opt.fanout >= 2 ? opt.fanout : 4;
+  const int relay_threshold =
+      opt.relay_threshold > 0 ? opt.relay_threshold : 4;
+
+  // Plan every run up front and execute on the --jobs worker pool; results
+  // land in task order, so output is identical at any worker count. Each
+  // cell contributes two runs: flat topology then tree + relay. One
+  // sequential baseline per app (the baseline is a single process; its
+  // checksum and time do not depend on the cluster size).
+  std::vector<Cell> cells;
+  std::vector<std::function<harness::RunResult()>> tasks;
+  std::vector<std::string> seq_apps;
+  for (const char* app : kApps) {
+    const bench::BenchOptions o = opt;
+    tasks.push_back([o, app = std::string(app)] {
+      return harness::run_sequential(app, o.cluster_config(), o.app_params());
+    });
+    seq_apps.push_back(app);
+    for (const ProtocolKind kind : protocols::base_protocols()) {
+      for (const int nodes : node_list) {
+        cells.push_back(Cell{app, kind, nodes});
+        for (const bool tree : {false, true}) {
+          tasks.push_back([o, app = std::string(app), kind, nodes, tree,
+                           tree_fanout, relay_threshold] {
+            dsm::ClusterConfig cfg = o.cluster_config();
+            cfg.num_nodes = nodes;
+            cfg.barrier_fanout = tree ? tree_fanout : 0;
+            cfg.relay_threshold = tree ? relay_threshold : 0;
+            return harness::run_app(app, kind, cfg, o.app_params());
+          });
+        }
+      }
+    }
+  }
+  const std::vector<harness::RunResult> results =
+      harness::run_grid(tasks, opt.jobs);
+
+  // Task order: [seq(app0), cells(app0) x {flat, tree}..., seq(app1), ...].
+  std::size_t next = 0;
+  std::vector<harness::RunResult> seq_results;
+  std::vector<harness::RunResult> flat_results;
+  std::vector<harness::RunResult> tree_results;
+  std::size_t cell_idx = 0;
+  for (std::size_t a = 0; a < seq_apps.size(); ++a) {
+    seq_results.push_back(results[next++]);
+    while (cell_idx < cells.size() && cells[cell_idx].app == seq_apps[a]) {
+      flat_results.push_back(results[next++]);
+      tree_results.push_back(results[next++]);
+      ++cell_idx;
+    }
+  }
+
+  auto seq_of = [&](const std::string& app) -> const harness::RunResult& {
+    for (std::size_t a = 0; a < seq_apps.size(); ++a) {
+      if (seq_apps[a] == app) return seq_results[a];
+    }
+    std::fprintf(stderr, "FATAL: no sequential baseline for %s\n",
+                 app.c_str());
+    std::exit(1);
+  };
+
+  std::printf("Ablation X3: scaling to 1024 nodes, flat vs tree(%d)+relay(%d) "
+              "(scale %.2f)\n\n",
+              tree_fanout, relay_threshold, opt.scale);
+
+  std::FILE* json = std::fopen("BENCH_nodes.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_nodes.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"node_scaling\",\n"
+               "  \"scale\": %.3f,\n  \"tree_fanout\": %d,\n"
+               "  \"relay_threshold\": %d,\n  \"host_cores\": %u,\n"
+               "  \"runs\": [",
+               opt.scale, tree_fanout, relay_threshold,
+               std::thread::hardware_concurrency());
+
+  bool first_json = true;
+  std::string cur_header;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const harness::RunResult& flat = flat_results[i];
+    const harness::RunResult& tree = tree_results[i];
+    const harness::RunResult& seq = seq_of(cell.app);
+    if (flat.checksum != seq.checksum || tree.checksum != seq.checksum) {
+      std::fprintf(stderr, "FATAL: %s under %s diverged at %d nodes\n",
+                   cell.app.c_str(), protocols::to_string(cell.kind),
+                   cell.nodes);
+      return 1;
+    }
+
+    const std::string header =
+        cell.app + " under " + protocols::to_string(cell.kind);
+    if (header != cur_header) {
+      if (!cur_header.empty()) std::printf("\n");
+      cur_header = header;
+      std::printf("%s:\n  %6s %10s %10s %8s %11s %11s %11s %8s\n",
+                  header.c_str(), "nodes", "flat", "tree", "speedup",
+                  "wait-flat", "wait-tree", "msgs-flat", "reduce");
+    }
+    const double speedup =
+        tree.elapsed > 0 ? static_cast<double>(flat.elapsed) /
+                               static_cast<double>(tree.elapsed)
+                         : 0.0;
+    const sim::SimTime wait_flat = flat.breakdown.summed().wait;
+    const sim::SimTime wait_tree = tree.breakdown.summed().wait;
+    const std::uint64_t msgs_flat = flat.net.flush_class_messages();
+    const std::uint64_t msgs_tree = tree.net.flush_class_messages();
+    const double reduction =
+        msgs_tree == 0 ? 1.0
+                       : static_cast<double>(msgs_flat) /
+                             static_cast<double>(msgs_tree);
+    std::printf("  %6d %8.2fms %8.2fms %7.3fx %9.2fms %9.2fms %11llu %7.2fx\n",
+                cell.nodes, sim::to_msec(flat.elapsed),
+                sim::to_msec(tree.elapsed), speedup, sim::to_msec(wait_flat),
+                sim::to_msec(wait_tree),
+                static_cast<unsigned long long>(msgs_flat), reduction);
+
+    std::fprintf(
+        json,
+        "%s\n    {\"app\": \"%s\", \"protocol\": \"%s\", \"nodes\": %d, "
+        "\"elapsed_flat_ms\": %.3f, \"elapsed_tree_ms\": %.3f, "
+        "\"speedup_flat_vs_tree\": %.4f, "
+        "\"barrier_wait_flat_ms\": %.3f, \"barrier_wait_tree_ms\": %.3f, "
+        "\"flush_messages_flat\": %llu, \"flush_messages_tree\": %llu, "
+        "\"flush_message_reduction\": %.4f, \"relay_batches\": %llu, "
+        "\"relay_messages\": %llu, \"total_messages_flat\": %llu, "
+        "\"total_messages_tree\": %llu, \"barriers\": %llu, "
+        "\"correct\": true}",
+        first_json ? "" : ",", cell.app.c_str(),
+        protocols::to_string(cell.kind), cell.nodes,
+        sim::to_msec(flat.elapsed), sim::to_msec(tree.elapsed), speedup,
+        sim::to_msec(wait_flat), sim::to_msec(wait_tree),
+        static_cast<unsigned long long>(msgs_flat),
+        static_cast<unsigned long long>(msgs_tree), reduction,
+        static_cast<unsigned long long>(tree.counters.relay_batches.load()),
+        static_cast<unsigned long long>(tree.counters.relay_messages.load()),
+        static_cast<unsigned long long>(flat.net.table_messages()),
+        static_cast<unsigned long long>(tree.net.table_messages()),
+        static_cast<unsigned long long>(tree.barriers));
+    first_json = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_nodes.json (%zu cells x {flat, tree}, "
+              "all bit-exact vs sequential)\n",
+              cells.size());
   return 0;
 }

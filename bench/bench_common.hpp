@@ -36,6 +36,13 @@ struct BenchOptions {
   /// Barrier-time flush aggregation (--no-aggregate disables). Checksums
   /// are bit-identical either way; messages and times differ by design.
   bool aggregate = true;
+  /// Tree-barrier fanout (--fanout=K; 0 = the flat master barrier).
+  /// Checksums are bit-identical either way; barrier times differ.
+  int fanout = 0;
+  /// Relayed flush dissemination (--relay-threshold=N; 0 = off) and its
+  /// tree fanout (--relay-fanout=K). Checksums are bit-identical.
+  int relay_threshold = 0;
+  int relay_fanout = 4;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -67,13 +74,20 @@ struct BenchOptions {
         }
       } else if (arg == "--no-aggregate") {
         opt.aggregate = false;
+      } else if (const char* v = value("--fanout=")) {
+        opt.fanout = std::atoi(v);
+      } else if (const char* v = value("--relay-threshold=")) {
+        opt.relay_threshold = std::atoi(v);
+      } else if (const char* v = value("--relay-fanout=")) {
+        opt.relay_fanout = std::atoi(v);
       } else if (arg == "--quick") {
         opt.scale = 0.25;
         opt.iterations = 4;
       } else if (arg == "--help") {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
-            "--gang=parallel|baton --no-aggregate --quick\n");
+            "--gang=parallel|baton --no-aggregate --fanout=K "
+            "--relay-threshold=N --relay-fanout=K --quick\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -98,6 +112,11 @@ struct BenchOptions {
     cfg.seed = seed;
     cfg.gang = gang;
     cfg.aggregate_flushes = aggregate;
+    cfg.barrier_fanout = fanout;
+    cfg.relay_threshold = relay_threshold;
+    cfg.relay_fanout = relay_fanout;
+    // Friendly parse-time rejection of out-of-range sizes / fanouts.
+    dsm::validate_cluster_config(cfg);
     return cfg;
   }
 };

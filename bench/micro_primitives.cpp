@@ -15,7 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "updsm/dsm/copyset.hpp"
 #include "updsm/dsm/flush_batch.hpp"
+#include "updsm/dsm/node_context.hpp"
 #include "updsm/harness/experiment.hpp"
 #include "updsm/mem/diff.hpp"
 #include "updsm/sim/cost_model.hpp"
@@ -254,6 +256,60 @@ void BM_GangBarrierThroughput(benchmark::State& state) {
 BENCHMARK(BM_GangBarrierThroughput)
     ->Args({2, 0})->Args({2, 1})
     ->Args({8, 0})->Args({8, 1});
+
+// --- barrier topology and copysets ------------------------------------------
+
+/// Host cost of simulating barrier arrival + release across a cluster:
+/// with no shared writes, an lmw-i cluster runs nothing but barriers, so
+/// this is the per-barrier simulation overhead (message accounting, clock
+/// math, reduction folding) the scaled topologies must keep in check.
+/// Args: {nodes, barrier_fanout (0 = flat)}.
+void BM_ClusterBarrierArrival(benchmark::State& state) {
+  constexpr int kBarriersPerRun = 16;
+  updsm::dsm::ClusterConfig cfg;
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  cfg.barrier_fanout = static_cast<int>(state.range(1));
+  cfg.page_size = 1024;
+  cfg.gang = updsm::sim::GangMode::Baton;  // pure simulation cost, no pool
+  for (auto _ : state) {
+    updsm::mem::SharedHeap heap(cfg.page_size);
+    heap.alloc_page_aligned(64, "pad");
+    updsm::dsm::Cluster cluster(
+        cfg, heap,
+        updsm::protocols::make_protocol(updsm::protocols::ProtocolKind::LmwI));
+    cluster.run([&](updsm::dsm::NodeContext& ctx) {
+      for (int i = 0; i < kBarriersPerRun; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBarriersPerRun);
+}
+BENCHMARK(BM_ClusterBarrierArrival)
+    ->Args({8, 0})->Args({8, 4})
+    ->Args({64, 0})->Args({64, 4})
+    ->Args({256, 0})->Args({256, 4});
+
+/// Iteration over the multi-word copyset bitmap at 1024-node width: the
+/// update protocols walk every page's copyset at every barrier, so
+/// for_each over mostly-empty and fully-populated words is hot.
+/// Arg: member count spread evenly across the 1024-node id space.
+void BM_CopysetIterate(benchmark::State& state) {
+  const auto members = static_cast<std::uint32_t>(state.range(0));
+  updsm::dsm::Copyset cs;
+  const std::uint32_t stride = updsm::dsm::kMaxNodes / members;
+  for (std::uint32_t i = 0; i < members; ++i) {
+    cs.add(updsm::NodeId{i * stride});
+  }
+  for (auto _ : state) {
+    const updsm::dsm::NodeSet snap = cs.snapshot();
+    std::uint64_t sum = 0;
+    snap.for_each([&](updsm::NodeId id) { sum += id.value(); });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          members);
+}
+BENCHMARK(BM_CopysetIterate)->Arg(2)->Arg(64)->Arg(1024);
 
 /// Hand-rolled wall-clock summary of diff-creation throughput, written as
 /// BENCH_diff.json next to the binary's working directory. Deliberately

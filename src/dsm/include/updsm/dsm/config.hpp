@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "updsm/common/error.hpp"
+#include "updsm/dsm/copyset.hpp"
 #include "updsm/dsm/race_detector.hpp"
 #include "updsm/sim/cost_model.hpp"
 #include "updsm/sim/fault_plan.hpp"
@@ -56,6 +59,28 @@ struct ClusterConfig {
   /// differ; a conformance test pins it. `--no-aggregate` on the tools.
   bool aggregate_flushes = true;
 
+  // --- large-cluster topology ---------------------------------------------
+  /// Barrier topology: 0 = the paper's flat master barrier (every slave
+  /// messages node 0 directly); k >= 2 = a k-ary reduction/broadcast tree
+  /// in heap layout (children of i are k*i+1 .. k*i+k), charging
+  /// barrier_master_per_node per tree hop instead of N times on the master.
+  /// Results are bit-identical to flat -- only simulated times and the
+  /// per-pair message census differ; a conformance test pins it.
+  /// `--fanout` on the tools.
+  int barrier_fanout = 0;
+  /// Relayed multicast flush dissemination: when a producer's sealed
+  /// unreliable FlushBatches for one barrier target more than this many
+  /// distinct destinations, they travel as one FlushRelay message up/down a
+  /// deterministic relay_fanout-ary dissemination tree (intermediate nodes
+  /// forward the zero-copy wire bytes unmodified) instead of N unicasts.
+  /// 0 disables relaying. Reliable batches (diffs to home) always stay
+  /// unicast. Results are bit-identical either way; a dropped relay loses
+  /// the whole subtree and heals through the usual recovery.
+  /// `--relay-threshold` on the tools.
+  int relay_threshold = 0;
+  /// Fan-out of the dissemination tree used for relayed flushes (>= 2).
+  int relay_fanout = 4;
+
   // --- fault injection ----------------------------------------------------
   /// Adversarial transport behaviour (see sim/fault_plan.hpp). Empty = the
   /// perfect network (plus the legacy flush_drop_rate knob in costs.net).
@@ -104,5 +129,30 @@ struct ClusterConfig {
   /// garbage-collected"). 0 disables GC.
   std::uint64_t lmw_gc_threshold_bytes = 64ULL << 20;
 };
+
+/// Friendly front-door validation shared by Runtime and the CLIs, so an
+/// out-of-range cluster size fails at parse time with a usable message
+/// instead of tripping a check deep inside the copyset bitmap.
+inline void validate_cluster_config(const ClusterConfig& config) {
+  if (config.num_nodes < 1 ||
+      config.num_nodes > static_cast<int>(kMaxNodes)) {
+    throw UsageError("num_nodes must be between 1 and " +
+                     std::to_string(kMaxNodes) + ", got " +
+                     std::to_string(config.num_nodes));
+  }
+  if (config.barrier_fanout != 0 && config.barrier_fanout < 2) {
+    throw UsageError(
+        "barrier_fanout must be 0 (flat) or >= 2 (k-ary tree), got " +
+        std::to_string(config.barrier_fanout));
+  }
+  if (config.relay_fanout < 2) {
+    throw UsageError("relay_fanout must be >= 2, got " +
+                     std::to_string(config.relay_fanout));
+  }
+  if (config.relay_threshold < 0) {
+    throw UsageError("relay_threshold must be >= 0 (0 = off), got " +
+                     std::to_string(config.relay_threshold));
+  }
+}
 
 }  // namespace updsm::dsm

@@ -5,11 +5,23 @@
 // faults. Copysets are *hints*: stale entries cost wasted flushes, missing
 // entries cost one more fault -- never correctness.
 //
-// The bitmap is a relaxed-atomic cell: under the parallel gang, several
-// faulting nodes may add themselves to the same page's copyset mid-phase.
-// Bitmask or/and commute, so the barrier-time value is schedule-independent.
+// Storage is a fixed-stride multi-word bitmap sized for kMaxNodes, so the
+// cluster scales past 64 nodes without a heap allocation per page (inline
+// words keep Copyset trivially copyable and free of realloc races). Two
+// flavours share the layout:
+//
+//  * Copyset -- relaxed-atomic words: under the parallel gang, several
+//    faulting nodes may add themselves to the same page's copyset
+//    mid-phase. Bitmask or/and commute per word, so the barrier-time value
+//    is schedule-independent.
+//  * NodeSet -- plain words: barrier-frozen shadows, writer masks and wire
+//    records, mutated only from controller context.
+//
+// On the wire a set costs wire_bytes(num_nodes) = 8 bytes per started
+// 64-node block -- exactly the old single-word cost for clusters <= 64.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "updsm/common/atomic_stat.hpp"
@@ -18,49 +30,173 @@
 
 namespace updsm::dsm {
 
+/// Hard ceiling on cluster size: sizes every inline bitmap, and Runtime /
+/// the CLIs validate num_nodes against it at parse time.
+inline constexpr std::uint32_t kMaxNodes = 1024;
+inline constexpr std::size_t kNodeSetWords = kMaxNodes / 64;
+
+namespace detail {
+inline std::size_t node_word(NodeId n) {
+  UPDSM_CHECK_MSG(n.value() < kMaxNodes,
+                  "copyset supports <= " << kMaxNodes << " nodes, got " << n);
+  return n.value() / 64;
+}
+inline std::uint64_t node_mask(NodeId n) {
+  return 1ULL << (n.value() % 64);
+}
+}  // namespace detail
+
+/// Non-atomic node bitmap: value semantics, controller-context mutation.
+class NodeSet {
+ public:
+  void add(NodeId n) { words_[detail::node_word(n)] |= detail::node_mask(n); }
+  void remove(NodeId n) {
+    words_[detail::node_word(n)] &= ~detail::node_mask(n);
+  }
+  [[nodiscard]] bool contains(NodeId n) const {
+    return (words_[detail::node_word(n)] & detail::node_mask(n)) != 0;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  void clear() { words_.fill(0); }
+
+  [[nodiscard]] int count() const {
+    int total = 0;
+    for (const std::uint64_t w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+
+  /// True iff every member of `other` is also a member of this set
+  /// ((other & ~this) == 0 in mask terms).
+  [[nodiscard]] bool contains_all(const NodeSet& other) const {
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Lowest-id member; the set must be non-empty.
+  [[nodiscard]] NodeId lowest() const {
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      if (words_[i] != 0) {
+        return NodeId{static_cast<std::uint32_t>(
+            i * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[i])))};
+      }
+    }
+    UPDSM_CHECK_MSG(false, "lowest() on an empty node set");
+    return NodeId{0};
+  }
+
+  /// Iterates members in node order: f(NodeId).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      std::uint64_t b = words_[i];
+      while (b != 0) {
+        const int j = __builtin_ctzll(b);
+        f(NodeId{static_cast<std::uint32_t>(i * 64 + static_cast<std::size_t>(j))});
+        b &= b - 1;
+      }
+    }
+  }
+
+  /// Raw words, as shipped in release messages and flush-relay headers
+  /// (only the first words_for(num_nodes) cross the wire).
+  [[nodiscard]] const std::array<std::uint64_t, kNodeSetWords>& words() const {
+    return words_;
+  }
+  static NodeSet from_words(
+      const std::array<std::uint64_t, kNodeSetWords>& words) {
+    NodeSet s;
+    s.words_ = words;
+    return s;
+  }
+
+  /// Words / bytes a set occupies on the wire for a given cluster size:
+  /// 8 bytes per started 64-node block (8 bytes for any cluster <= 64, so
+  /// legacy message footprints are unchanged).
+  [[nodiscard]] static std::uint64_t words_for(int num_nodes) {
+    return (static_cast<std::uint64_t>(num_nodes) + 63) / 64;
+  }
+  [[nodiscard]] static std::uint64_t wire_bytes(int num_nodes) {
+    return 8 * words_for(num_nodes);
+  }
+
+  friend bool operator==(const NodeSet&, const NodeSet&) = default;
+
+ private:
+  std::array<std::uint64_t, kNodeSetWords> words_{};
+};
+
+/// Relaxed-atomic node bitmap: concurrent mid-phase adds commute.
 class Copyset {
  public:
-  void add(NodeId n) { bits_ |= bit(n); }
-  void remove(NodeId n) { bits_ &= ~bit(n); }
-  [[nodiscard]] bool contains(NodeId n) const {
-    return (bits_.load() & bit(n)) != 0;
+  void add(NodeId n) { words_[detail::node_word(n)] |= detail::node_mask(n); }
+  void remove(NodeId n) {
+    words_[detail::node_word(n)] &= ~detail::node_mask(n);
   }
-  [[nodiscard]] bool empty() const { return bits_.load() == 0; }
-  void clear() { bits_ = 0; }
+  [[nodiscard]] bool contains(NodeId n) const {
+    return (words_[detail::node_word(n)].load() & detail::node_mask(n)) != 0;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const auto& w : words_) {
+      if (w.load() != 0) return false;
+    }
+    return true;
+  }
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
 
-  [[nodiscard]] int count() const { return __builtin_popcountll(bits_.load()); }
+  [[nodiscard]] int count() const {
+    int total = 0;
+    for (const auto& w : words_) total += __builtin_popcountll(w.load());
+    return total;
+  }
 
-  /// Raw bitmap, as shipped in release messages (8 bytes on the wire).
-  [[nodiscard]] std::uint64_t bits() const { return bits_.load(); }
-  static Copyset from_bits(std::uint64_t bits) {
+  /// Plain-word snapshot (the barrier-frozen shadow). Controller context or
+  /// otherwise quiesced: a mid-phase snapshot would be per-word atomic only.
+  [[nodiscard]] NodeSet snapshot() const {
+    std::array<std::uint64_t, kNodeSetWords> words;
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      words[i] = words_[i].load();
+    }
+    return NodeSet::from_words(words);
+  }
+  static Copyset from(const NodeSet& s) {
     Copyset cs;
-    cs.bits_ = bits;
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      cs.words_[i] = s.words()[i];
+    }
     return cs;
   }
 
   /// Iterates members in node order: f(NodeId).
   template <typename F>
   void for_each(F&& f) const {
-    std::uint64_t b = bits_.load();
-    while (b != 0) {
-      const int i = __builtin_ctzll(b);
-      f(NodeId{static_cast<std::uint32_t>(i)});
-      b &= b - 1;
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      std::uint64_t b = words_[i].load();
+      while (b != 0) {
+        const int j = __builtin_ctzll(b);
+        f(NodeId{static_cast<std::uint32_t>(i * 64 + static_cast<std::size_t>(j))});
+        b &= b - 1;
+      }
     }
   }
 
-  friend bool operator==(Copyset a, Copyset b) {
-    return a.bits_.load() == b.bits_.load();
+  friend bool operator==(const Copyset& a, const Copyset& b) {
+    for (std::size_t i = 0; i < kNodeSetWords; ++i) {
+      if (a.words_[i].load() != b.words_[i].load()) return false;
+    }
+    return true;
   }
 
  private:
-  static std::uint64_t bit(NodeId n) {
-    UPDSM_CHECK_MSG(n.value() < 64, "copyset supports <= 64 nodes, got "
-                                        << n);
-    return 1ULL << n.value();
-  }
-
-  Relaxed<std::uint64_t> bits_ = 0;
+  std::array<Relaxed<std::uint64_t>, kNodeSetWords> words_{};
 };
 
 }  // namespace updsm::dsm

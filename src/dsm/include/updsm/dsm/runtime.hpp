@@ -161,6 +161,16 @@ class Runtime {
   /// batches by iterating the sealed bytes in place. Controller context
   /// (Cluster calls it between the arrive loop and the releases). No-op
   /// when nothing is staged.
+  ///
+  /// With config.relay_threshold > 0, a sender whose unreliable batches
+  /// target more than relay_threshold distinct destinations ships them as
+  /// segments of FlushRelay messages along a relay_fanout-ary dissemination
+  /// tree (heap layout rooted at node 0): one combined message per tree
+  /// edge instead of one unicast per destination. Intermediate nodes
+  /// forward the sealed wire bytes unmodified; a dropped hop loses every
+  /// segment aboard, healing through the usual recovery. Results are
+  /// bit-identical to unicast -- callbacks still fire in (sender,
+  /// destination) order -- only times and the message census change.
   void seal_flush_batches();
 
   /// Records and charges one reliable one-way message (sync arrivals and
@@ -233,12 +243,24 @@ class Runtime {
   void suppress_dup(sim::MsgKind kind, NodeId from, NodeId to,
                     std::uint64_t bytes, sim::SimTime handler_extra = 0);
 
+  /// seal_flush_batches() body when relay dissemination is configured:
+  /// unicasts reliable / below-threshold batches, routes the rest through
+  /// the tree, then runs all delivery callbacks in global (sender,
+  /// destination) order so results match the unicast path bit for bit.
+  void seal_flush_batches_relayed();
+  /// Transmits one unreliable FlushRelay hop (fire-and-forget, like an
+  /// unreliable unicast batch). Returns false if it was dropped, in which
+  /// case every segment aboard is lost.
+  [[nodiscard]] bool relay_hop(NodeId from, NodeId to, std::uint64_t bytes,
+                               std::size_t segments);
+
   /// One aggregation slot per (sender, destination) pair, reused every
   /// barrier (writer buffers keep their capacity across reset()).
   struct StagedBatch {
     FlushBatchWriter writer;
     std::vector<FlushDeliverFn> deliver;  // one per staged record
     bool reliable = false;                // any reliable record upgrades all
+    bool delivered = false;               // transient, relay path only
   };
 
   [[nodiscard]] std::size_t check(NodeId n) const {
@@ -260,6 +282,11 @@ class Runtime {
   std::vector<PageStats> page_stats_;
   EpochId epoch_{0};
   std::vector<StagedBatch> staged_;  // [from * num_nodes + to]
+  /// Slot indices touched since the last seal: seal iterates (and sorts)
+  /// this instead of scanning all num_nodes^2 slots -- at 1024 nodes the
+  /// full scan would dominate every barrier. Staging is barrier/controller
+  /// context only, so plain vector appends are race-free.
+  std::vector<std::size_t> staged_active_;
   std::vector<std::uint64_t> arrival_payload_;
   std::vector<std::uint64_t> release_payload_;
   bool measuring_ = false;

@@ -81,6 +81,18 @@ struct ProtocolCounters {
   /// Network header bytes saved by aggregation: (records - 1) * header per
   /// batch -- the per-message headers the per-page path would have paid.
   Cell flush_batch_header_bytes_saved = 0;
+  /// Sealed batches that travelled the dissemination tree instead of being
+  /// unicast (sender crossed relay_threshold distinct destinations).
+  Cell relay_batches = 0;
+  /// FlushRelay tree-hop messages actually sent (each may carry many
+  /// batches as segments).
+  Cell relay_messages = 0;
+  /// Total bytes forwarded along tree hops (segment bytes + per-segment
+  /// relay headers, summed over every hop traversed).
+  Cell relay_forwarded_bytes = 0;
+  /// Dropped relay hops: each loses every segment aboard (the destination
+  /// subtree heals through the usual per-record recovery).
+  Cell relay_subtree_losses = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;
@@ -119,6 +131,10 @@ struct ProtocolCounters {
       flush_batch_records_min = o.flush_batch_records_min;
     }
     flush_batch_header_bytes_saved += o.flush_batch_header_bytes_saved;
+    relay_batches += o.relay_batches;
+    relay_messages += o.relay_messages;
+    relay_forwarded_bytes += o.relay_forwarded_bytes;
+    relay_subtree_losses += o.relay_subtree_losses;
     return *this;
   }
 };

@@ -12,6 +12,10 @@ namespace {
 using sim::MsgKind;
 using sim::SimTime;
 using sim::TimeCat;
+
+/// Wire overhead per batch carried inside a FlushRelay message: original
+/// sender, final destination, offset and length of the segment's bytes.
+constexpr std::uint64_t kRelaySegmentHeaderBytes = 16;
 }  // namespace
 
 Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
@@ -19,8 +23,7 @@ Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
       num_pages_(num_pages),
       net_(config.costs.net, splitmix64(config.seed ^ 0xfeedULL),
            config.num_nodes) {
-  UPDSM_REQUIRE(config.num_nodes >= 1 && config.num_nodes <= 64,
-                "num_nodes must be in [1, 64], got " << config.num_nodes);
+  validate_cluster_config(config);
   const int n = config.num_nodes;
   tables_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -289,25 +292,35 @@ void Runtime::stage_flush(NodeId from, NodeId to, PageId page, NodeId creator,
     }
     return;
   }
-  StagedBatch& slot =
-      staged_[from.index() * static_cast<std::size_t>(num_nodes()) +
-              to.index()];
-  if (slot.writer.bytes().empty()) slot.writer.begin(from);
+  const std::size_t idx =
+      from.index() * static_cast<std::size_t>(num_nodes()) + to.index();
+  StagedBatch& slot = staged_[idx];
+  if (slot.writer.bytes().empty()) {
+    slot.writer.begin(from);
+    staged_active_.push_back(idx);
+  }
   slot.writer.add(page, creator, epoch_, diff);
   slot.deliver.push_back(std::move(on_deliver));
   slot.reliable = slot.reliable || reliable;
 }
 
 void Runtime::seal_flush_batches() {
-  if (staged_.empty()) return;
+  if (staged_.empty() || staged_active_.empty()) return;
+  if (config_.relay_threshold > 0) {
+    seal_flush_batches_relayed();
+    return;
+  }
   const auto& net_costs = costs().net;
   const std::size_t n = static_cast<std::size_t>(num_nodes());
-  for (std::size_t f = 0; f < n; ++f) {
-    for (std::size_t t = 0; t < n; ++t) {
-      StagedBatch& slot = staged_[f * n + t];
-      if (slot.writer.bytes().empty()) continue;  // empty-batch elision
-      const NodeId from{static_cast<std::uint32_t>(f)};
-      const NodeId to{static_cast<std::uint32_t>(t)};
+  // Stage order interleaves destinations; transmission and delivery happen
+  // in (sender asc, destination asc) order, exactly as a full-grid scan
+  // would visit the non-empty slots.
+  std::sort(staged_active_.begin(), staged_active_.end());
+  for (const std::size_t idx : staged_active_) {
+    {
+      StagedBatch& slot = staged_[idx];
+      const NodeId from{static_cast<std::uint32_t>(idx / n)};
+      const NodeId to{static_cast<std::uint32_t>(idx % n)};
       slot.writer.seal();
       const auto bytes = slot.writer.bytes();
       const std::uint64_t records = slot.writer.record_count();
@@ -384,6 +397,234 @@ void Runtime::seal_flush_batches() {
       slot.reliable = false;
     }
   }
+  staged_active_.clear();
+}
+
+void Runtime::seal_flush_batches_relayed() {
+  const auto& net_costs = costs().net;
+  const std::size_t n = static_cast<std::size_t>(num_nodes());
+  const std::size_t fanout = static_cast<std::size_t>(config_.relay_fanout);
+  std::sort(staged_active_.begin(), staged_active_.end());
+
+  // Route decision per sender: a producer whose unreliable batches target
+  // more than relay_threshold distinct destinations ships them through the
+  // tree; reliable (diff-to-home) batches always stay unicast.
+  std::vector<int> unreliable_targets(n, 0);
+  for (const std::size_t idx : staged_active_) {
+    if (!staged_[idx].reliable) ++unreliable_targets[idx / n];
+  }
+
+  // One traveling segment per relayed (sender, destination) batch: the
+  // sealed wire bytes are never re-serialized, intermediate hops only
+  // account their forwarding.
+  struct Segment {
+    std::size_t slot;     // index into staged_ (encodes sender and dest)
+    std::uint32_t to;     // final destination
+    std::uint64_t bytes;  // sealed batch wire size
+  };
+  std::vector<Segment> segs;
+
+  // Pass A, (sender, destination) order: seal + census every batch and
+  // transmit the unicast ones. Delivery callbacks are deferred to pass C
+  // so the global callback order is independent of routing (clock charges
+  // are additive, fault streams are per-(kind, from, to): deferral cannot
+  // change any outcome).
+  for (const std::size_t idx : staged_active_) {
+    StagedBatch& slot = staged_[idx];
+    const NodeId from{static_cast<std::uint32_t>(idx / n)};
+    const NodeId to{static_cast<std::uint32_t>(idx % n)};
+    slot.writer.seal();
+    const auto bytes = slot.writer.bytes();
+    const std::uint64_t records = slot.writer.record_count();
+    const bool relayed =
+        !slot.reliable &&
+        unreliable_targets[idx / n] > config_.relay_threshold;
+
+    // Record census: once per batch, never per transmission attempt or
+    // tree hop, so flush_class_records() stays invariant under routing.
+    net_.note_records(relayed ? MsgKind::FlushRelay : MsgKind::FlushBatch,
+                      records);
+    ++counters_.flush_batches;
+    counters_.flush_batch_records += records;
+    if (records > counters_.flush_batch_records_max.load()) {
+      counters_.flush_batch_records_max = records;
+    }
+    const std::uint64_t cur_min = counters_.flush_batch_records_min.load();
+    if (cur_min == 0 || records < cur_min) {
+      counters_.flush_batch_records_min = records;
+    }
+    counters_.flush_batch_header_bytes_saved +=
+        (records - 1) * net_costs.header_bytes;
+
+    if (relayed) {
+      ++counters_.relay_batches;
+      segs.push_back(Segment{idx, to.value(), bytes.size()});
+      continue;
+    }
+
+    bool ok = true;
+    bool duplicate = false;
+    if (slot.reliable) {
+      (void)reliable_send(MsgKind::FlushBatch, from, to, bytes.size());
+    } else {
+      net_.record(MsgKind::FlushBatch, from, to, bytes.size());
+      clock(from).advance(TimeCat::Os, net_costs.send_trap);
+      os(from).count_send();
+      ok = net_.flush_delivered(to, MsgKind::FlushBatch);
+      if (fault_plan_ != nullptr) {
+        const sim::FaultDecision fate =
+            fault_plan_->next(MsgKind::FlushBatch, from, to);
+        if (fate.drop) {
+          if (ok) net_.record_drop(MsgKind::FlushBatch);
+          ok = false;
+        } else if (ok) {
+          duplicate = fate.duplicate;
+          if (fate.extra_delay > 0) net_.note_delay();
+        }
+      }
+    }
+    if (trace_) {
+      trace_->emit("flushbatch n" + std::to_string(from.value()) + ">n" +
+                   std::to_string(to.value()) + " " + std::to_string(records) +
+                   "r " + std::to_string(bytes.size()) + "B" +
+                   (ok ? "" : " drop"));
+    }
+    if (ok) {
+      clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+      os(to).count_recv();
+      if (duplicate) {
+        suppress_dup(MsgKind::FlushBatch, from, to, bytes.size());
+      }
+    }
+    slot.delivered = ok;
+  }
+
+  // Pass B: simulate the shared dissemination tree (heap layout rooted at
+  // node 0, children of i are fanout*i+1 .. fanout*i+fanout). Up phase,
+  // children before parents: each node combines its own batches with its
+  // children's surviving segments, delivers the ones addressed to itself
+  // on the spot, and forwards the rest as ONE FlushRelay message to its
+  // parent. Down phase, parents before children: each hop carries only
+  // the segments whose destination lies in that child's subtree. A
+  // dropped hop loses every segment aboard.
+  std::vector<std::vector<std::size_t>> at(n);
+  for (std::size_t s = 0; s < segs.size(); ++s) {
+    at[segs[s].slot / n].push_back(s);
+  }
+  for (std::size_t i = n; i-- > 1;) {
+    std::vector<std::size_t> onward;
+    for (const std::size_t s : at[i]) {
+      if (segs[s].to == i) {
+        staged_[segs[s].slot].delivered = true;
+      } else {
+        onward.push_back(s);
+      }
+    }
+    at[i].clear();
+    if (onward.empty()) continue;
+    const std::size_t parent = (i - 1) / fanout;
+    std::uint64_t msg_bytes = 0;
+    for (const std::size_t s : onward) {
+      msg_bytes += segs[s].bytes + kRelaySegmentHeaderBytes;
+    }
+    if (relay_hop(NodeId{static_cast<std::uint32_t>(i)},
+                  NodeId{static_cast<std::uint32_t>(parent)}, msg_bytes,
+                  onward.size())) {
+      for (const std::size_t s : onward) at[parent].push_back(s);
+    }
+  }
+  for (const std::size_t s : at[0]) {
+    if (segs[s].to == 0) staged_[segs[s].slot].delivered = true;
+  }
+  const auto in_subtree = [fanout](std::size_t t, std::size_t c) {
+    while (t > c) t = (t - 1) / fanout;
+    return t == c;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (at[i].empty()) continue;
+    const std::size_t first_child = fanout * i + 1;
+    for (std::size_t c = first_child; c < first_child + fanout && c < n; ++c) {
+      std::vector<std::size_t> down;
+      std::uint64_t msg_bytes = 0;
+      for (const std::size_t s : at[i]) {
+        if (!in_subtree(segs[s].to, c)) continue;
+        down.push_back(s);
+        msg_bytes += segs[s].bytes + kRelaySegmentHeaderBytes;
+      }
+      if (down.empty()) continue;
+      if (!relay_hop(NodeId{static_cast<std::uint32_t>(i)},
+                     NodeId{static_cast<std::uint32_t>(c)}, msg_bytes,
+                     down.size())) {
+        continue;
+      }
+      for (const std::size_t s : down) {
+        if (segs[s].to == c) {
+          staged_[segs[s].slot].delivered = true;
+        } else {
+          at[c].push_back(s);
+        }
+      }
+    }
+    at[i].clear();
+  }
+
+  // Pass C, (sender, destination) order: run the delivery callbacks of
+  // every batch that arrived -- unicast or relayed -- by iterating the
+  // sealed bytes in place, then reset the slots. A lost batch loses *all*
+  // its records; the protocols heal through the same per-record recovery
+  // as lost per-page flushes.
+  for (const std::size_t idx : staged_active_) {
+    StagedBatch& slot = staged_[idx];
+    if (slot.delivered) {
+      FlushBatchReader reader(slot.writer.bytes());
+      UPDSM_CHECK(reader.header_ok());
+      FlushRecordView rec;
+      for (const FlushDeliverFn& fn : slot.deliver) {
+        UPDSM_CHECK(reader.next(rec) == BatchReadStatus::Record);
+        if (fn) fn(rec);
+      }
+      UPDSM_CHECK(reader.next(rec) == BatchReadStatus::End);
+    }
+    slot.writer.reset();
+    slot.deliver.clear();
+    slot.reliable = false;
+    slot.delivered = false;
+  }
+  staged_active_.clear();
+}
+
+bool Runtime::relay_hop(NodeId from, NodeId to, std::uint64_t bytes,
+                        std::size_t segments) {
+  const auto& net_costs = costs().net;
+  net_.record(MsgKind::FlushRelay, from, to, bytes);
+  clock(from).advance(TimeCat::Os, net_costs.send_trap);
+  os(from).count_send();
+  ++counters_.relay_messages;
+  counters_.relay_forwarded_bytes += bytes;
+  bool ok = net_.flush_delivered(to, MsgKind::FlushRelay);
+  bool duplicate = false;
+  if (fault_plan_ != nullptr) {
+    const sim::FaultDecision fate =
+        fault_plan_->next(MsgKind::FlushRelay, from, to);
+    if (fate.drop) {
+      if (ok) net_.record_drop(MsgKind::FlushRelay);
+      ok = false;
+    } else if (ok) {
+      duplicate = fate.duplicate;
+      if (fate.extra_delay > 0) net_.note_delay();
+    }
+  }
+  if (!ok) ++counters_.relay_subtree_losses;
+  if (trace_) {
+    trace_->emit("flushrelay n" + std::to_string(from.value()) + ">n" +
+                 std::to_string(to.value()) + " " + std::to_string(segments) +
+                 "s " + std::to_string(bytes) + "B" + (ok ? "" : " drop"));
+  }
+  if (!ok) return false;
+  clock(to).advance(TimeCat::Sigio, net_costs.recv_trap);
+  os(to).count_recv();
+  if (duplicate) suppress_dup(MsgKind::FlushRelay, from, to, bytes);
+  return true;
 }
 
 void Runtime::control(NodeId from, NodeId to, std::uint64_t bytes) {

@@ -121,22 +121,22 @@ class BarProtocol final : public dsm::CoherenceProtocol {
     /// Mid-phase *decisions* (the home-private consumer count in
     /// write_fault) read this, never the live bitmap, so they cannot
     /// depend on which concurrent fetch happened to land first.
-    std::uint64_t copyset_frozen = 0;
+    dsm::NodeSet copyset_frozen;
     /// All nodes whose non-empty diffs (or home trap-writes) touched the
     /// page (value-based; consumers wait only for diffs that exist).
-    std::uint64_t writers_ever = 0;
+    dsm::NodeSet writers_ever;
     /// All nodes that ever *trapped* a write to the page (fault-based;
     /// drives home migration -- a node repeatedly writing values that
-    /// happen to be unchanged still deserves to own the page). Relaxed
-    /// atomic: note_dirty sets bits from faulting node threads mid-phase.
-    Relaxed<std::uint64_t> fault_writers_ever = 0;
+    /// happen to be unchanged still deserves to own the page). Atomic
+    /// bitmap: note_dirty sets bits from faulting node threads mid-phase.
+    dsm::Copyset fault_writers_ever;
     /// Home-private fast path: the home writes the page with no consumers
     /// anywhere, so it stays read-write at the home with no trapping, no
     /// version bumps and no barrier work until a consumer fetches it (the
     /// logical extreme of the paper's "home effect").
     bool untracked = false;
     // --- per-epoch scratch, cleared by barrier_master -----------------
-    std::uint64_t writers_epoch = 0;
+    dsm::NodeSet writers_epoch;
     bool home_wrote = false;
     std::vector<QueuedDiff> queued;  // foreign diffs flushed to the home
   };
@@ -151,10 +151,13 @@ class BarProtocol final : public dsm::CoherenceProtocol {
     PageId page{0};
     std::uint64_t prev_version = 0;
     std::uint64_t new_version = 0;
-    std::uint64_t writers = 0;  // bitmap
-    /// Wire footprint per receiving node: page + version + writers +
-    /// copyset bitmap.
-    static constexpr std::uint64_t kWireBytes = 24;
+    dsm::NodeSet writers;  // bitmap
+    /// Wire footprint per receiving node: page + version (16 bytes) plus
+    /// the var-length writer/copyset bitmap -- 8 bytes per started 64-node
+    /// block, so exactly the legacy 24 bytes on clusters <= 64 nodes.
+    [[nodiscard]] static std::uint64_t wire_bytes(int num_nodes) {
+      return 16 + dsm::NodeSet::wire_bytes(num_nodes);
+    }
   };
 
   struct NodeState {

@@ -15,8 +15,6 @@ using mem::Diff;
 using mem::Protect;
 using sim::MsgKind;
 using sim::SimTime;
-
-std::uint64_t bit(NodeId n) { return 1ULL << n.value(); }
 }  // namespace
 
 void BarProtocol::init(dsm::Runtime& rt) {
@@ -116,7 +114,7 @@ void BarProtocol::note_dirty(NodeId n, PageId page) {
     st.dirty[page.index()] = true;
     st.dirty_pages.push_back(page);
   }
-  gpage(page).fault_writers_ever |= bit(n);
+  gpage(page).fault_writers_ever.add(n);
 }
 
 void BarProtocol::note_writer(NodeId n, PageId page) {
@@ -124,11 +122,11 @@ void BarProtocol::note_writer(NodeId n, PageId page) {
   // with a non-empty diff (and for home trap-writes, whose effect cannot
   // be checked without a twin).
   PageGlobal& gp = gpage(page);
-  if (gp.writers_epoch == 0 && !gp.home_wrote) {
+  if (gp.writers_epoch.empty() && !gp.home_wrote) {
     epoch_touched_.push_back(page);
   }
-  gp.writers_epoch |= bit(n);
-  gp.writers_ever |= bit(n);
+  gp.writers_epoch.add(n);
+  gp.writers_ever.add(n);
 }
 
 void BarProtocol::read_fault(NodeId n, PageId page) {
@@ -192,8 +190,8 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
   // Consumer count from the barrier-frozen copyset shadow, NOT the live
   // bitmap: concurrent fetches add members mid-phase, and this decision
   // must be independent of their timing.
-  const int consumers = __builtin_popcountll(
-      gpage(page).copyset_frozen & ~bit(n));
+  const dsm::NodeSet& frozen = gpage(page).copyset_frozen;
+  const int consumers = frozen.count() - (frozen.contains(n) ? 1 : 0);
   if (loop_entered_ && n == home && consumers == 0) {
     // (Gated on the loop annotation: the fast path's invariant -- every
     // valid non-home replica is in the copyset -- is established by the
@@ -410,7 +408,7 @@ void BarProtocol::barrier_master() {
 
   for (const PageId page : epoch_touched_) {
     PageGlobal& gp = gpage(page);
-    if (gp.writers_epoch == 0 && !gp.home_wrote) continue;  // all zero diffs
+    if (gp.writers_epoch.empty() && !gp.home_wrote) continue;  // all zero diffs
     const NodeId home = gp.home;
 
     if (!gp.queued.empty()) {
@@ -441,7 +439,7 @@ void BarProtocol::barrier_master() {
     node(home).cached_version[page.index()] = new_version;
     for (QueuedDiff& qd : gp.queued) diff_pool_.recycle(std::move(qd.diff));
     gp.queued.clear();
-    gp.writers_epoch = 0;
+    gp.writers_epoch.clear();
     gp.home_wrote = false;
   }
   epoch_touched_.clear();
@@ -472,7 +470,7 @@ void BarProtocol::barrier_master() {
   // announcements (handled in run_migration), for every slave.
   for (int i = 0; i < rt_->num_nodes(); ++i) {
     rt_->add_release_payload(NodeId{static_cast<std::uint32_t>(i)},
-                             ChangeRecord::kWireBytes *
+                             ChangeRecord::wire_bytes(rt_->num_nodes()) *
                                  epoch_changes_.size());
   }
 }
@@ -482,11 +480,11 @@ void BarProtocol::run_migration() {
   std::uint64_t moved = 0;
   for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
     PageGlobal& gp = global_[p];
-    if (gp.fault_writers_ever == 0) continue;
-    if ((gp.fault_writers_ever & bit(gp.home)) != 0) continue;
+    const dsm::NodeSet fault_writers = gp.fault_writers_ever.snapshot();
+    if (fault_writers.empty()) continue;
+    if (fault_writers.contains(gp.home)) continue;
     // Written, but never by its home: migrate to the lowest-id writer.
-    const NodeId new_home{
-        static_cast<std::uint32_t>(__builtin_ctzll(gp.fault_writers_ever))};
+    const NodeId new_home = fault_writers.lowest();
     const NodeId old_home = gp.home;
     const PageId page{p};
     // The new home needs the authoritative copy.
@@ -655,9 +653,9 @@ void BarProtocol::barrier_release(NodeId n) {
     PageGlobal& gp = gpage(page);
     // Collect this node's update pushes for the page (creator order is node
     // order because arrivals ran in node order).
-    std::uint64_t got = 0;
+    dsm::NodeSet got;
     for (const InboxEntry& e : st.inbox) {
-      if (e.page == page) got |= bit(e.creator);
+      if (e.page == page) got.add(e.creator);
     }
 
     if (n == gp.home) {
@@ -666,22 +664,23 @@ void BarProtocol::barrier_release(NodeId n) {
     }
     const bool cached = rt_->table(n).prot(page) != Protect::None;
     if (!cached) {
-      if (got != 0) ++rt_->counters().updates_ignored;
+      if (!got.empty()) ++rt_->counters().updates_ignored;
       continue;
     }
     const bool current = st.cached_version[page.index()] == rec.prev_version;
-    const std::uint64_t need = rec.writers & ~bit(n);
-    if (current && (need & ~got) == 0) {
+    dsm::NodeSet need = rec.writers;
+    need.remove(n);
+    if (current && got.contains_all(need)) {
       // All concurrent modifications are available locally: apply inside
       // the barrier and stay valid -- the fault never happens (bar-u) --
       // or, with no foreign writers, nothing to do at all.
-      if (need != 0) {
+      if (!need.empty()) {
         const bool writable =
             rt_->table(n).prot(page) == Protect::ReadWrite;
         if (!writable) rt_->mprotect(n, page, Protect::ReadWrite);
         auto frame = rt_->table(n).frame(page);
         for (const InboxEntry& e : st.inbox) {
-          if (e.page != page || (need & bit(e.creator)) == 0) continue;
+          if (e.page != page || !need.contains(e.creator)) continue;
           e.diff.apply(frame);
           rt_->charge_dsm(n, 0, dsm_costs.diff_apply_per_byte_ns,
                           e.diff.payload_bytes());
@@ -705,15 +704,16 @@ void BarProtocol::barrier_release(NodeId n) {
                               << page << " cached "
                               << st.cached_version[page.index()] << " prev "
                               << rec.prev_version << " writers "
-                              << rec.writers << " got " << got);
-      if (update_mode() && current && (need & ~got) != 0) {
+                              << rec.writers.count() << " got "
+                              << got.count());
+      if (update_mode() && current && !got.contains_all(need)) {
         // Update protocol, current copy, missing diffs: this invalidation
         // would not have happened had every update push arrived -- pure
         // recovery from a lost flush (the degradation the fault benches
         // measure). bar-i never pushes, so it never counts here.
         ++rt_->counters().recovery_faults;
       }
-      if (got != 0) ++rt_->counters().updates_ignored;
+      if (!got.empty()) ++rt_->counters().updates_ignored;
       rt_->mprotect(n, page, Protect::None);
       if (st.twins.has(page) && !od_m_active) {
         st.twins.discard(page);
@@ -743,7 +743,7 @@ void BarProtocol::barrier_finish() {
   // read: runs after all release work, with every node parked, so the next
   // phase sees one consistent, deterministic value per page.
   for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
-    global_[p].copyset_frozen = global_[p].copyset.bits();
+    global_[p].copyset_frozen = global_[p].copyset.snapshot();
   }
   // Service-snapshot upkeep, in node order: a snapshot must exist exactly
   // for the pages a home keeps ReadWrite with no twin (untracked pages,
@@ -790,8 +790,8 @@ void BarProtocol::iteration_begin(NodeId n, std::uint64_t iteration) {
       for (std::uint32_t p = 0; p < rt_->num_pages(); ++p) {
         PageGlobal& gp = global_[p];
         gp.copyset.clear();
-        gp.writers_ever = 0;
-        gp.fault_writers_ever = 0;
+        gp.writers_ever.clear();
+        gp.fault_writers_ever.clear();
       }
     }
   }

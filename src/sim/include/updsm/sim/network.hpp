@@ -41,8 +41,9 @@ enum class MsgKind : int {
   SyncRelease = 4,   // barrier release from the master
   Control = 5,       // home-migration directives etc.
   FlushBatch = 6,    // aggregated per-destination flush (many page records)
+  FlushRelay = 7,    // batches forwarded along the dissemination tree
 };
-inline constexpr std::size_t kMsgKindCount = 7;
+inline constexpr std::size_t kMsgKindCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(MsgKind k) {
   switch (k) {
@@ -60,6 +61,8 @@ inline constexpr std::size_t kMsgKindCount = 7;
       return "control";
     case MsgKind::FlushBatch:
       return "flushbatch";
+    case MsgKind::FlushRelay:
+      return "flush-relay";
   }
   return "?";
 }
@@ -86,20 +89,27 @@ struct NetworkStats {
   /// An aggregated FlushBatch is one message however many records it packs.
   [[nodiscard]] std::uint64_t table_messages() const {
     return of(MsgKind::DataRequest).count + of(MsgKind::Flush).count +
-           of(MsgKind::FlushBatch).count + of(MsgKind::SyncArrive).count +
-           of(MsgKind::SyncRelease).count + of(MsgKind::Control).count;
+           of(MsgKind::FlushBatch).count + of(MsgKind::FlushRelay).count +
+           of(MsgKind::SyncArrive).count + of(MsgKind::SyncRelease).count +
+           of(MsgKind::Control).count;
   }
 
-  /// Flush-class messages: per-page flushes plus aggregated batches. With
-  /// aggregation on this is ~one per (sender, destination) pair per barrier.
+  /// Flush-class messages: per-page flushes plus aggregated batches plus
+  /// tree-relayed batch hops. With aggregation on this is ~one per
+  /// (sender, destination) pair per barrier; with relaying it drops to
+  /// ~one per dissemination-tree edge.
   [[nodiscard]] std::uint64_t flush_class_messages() const {
-    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).count;
+    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).count +
+           of(MsgKind::FlushRelay).count;
   }
 
   /// Flush-class page records: each per-page flush carries one, a batch
-  /// carries `records`. Fault-free this is invariant under aggregation.
+  /// carries `records`. Relayed batches note their records once, under
+  /// FlushRelay, however many tree hops the bytes traverse. Fault-free this
+  /// is invariant under aggregation and relaying.
   [[nodiscard]] std::uint64_t flush_class_records() const {
-    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).records;
+    return of(MsgKind::Flush).count + of(MsgKind::FlushBatch).records +
+           of(MsgKind::FlushRelay).records;
   }
 
   /// Table-1 "Data (kbytes)": every byte that crossed the wire.

@@ -2,8 +2,11 @@
 // macros and the copyset bitmap.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "updsm/common/error.hpp"
 #include "updsm/common/rng.hpp"
@@ -108,18 +111,101 @@ TEST(CopysetTest, ForEachVisitsInNodeOrder) {
   EXPECT_EQ(visited, (std::vector<std::uint32_t>{2, 9, 40}));
 }
 
-TEST(CopysetTest, BitsRoundTrip) {
+TEST(CopysetTest, SnapshotRoundTrip) {
   dsm::Copyset cs;
   cs.add(NodeId{1});
   cs.add(NodeId{3});
-  const auto restored = dsm::Copyset::from_bits(cs.bits());
+  cs.add(NodeId{700});
+  const dsm::NodeSet snap = cs.snapshot();
+  const dsm::Copyset restored = dsm::Copyset::from(snap);
   EXPECT_EQ(restored, cs);
-  EXPECT_EQ(cs.bits(), 0b1010u);
+  EXPECT_EQ(snap.words()[0], 0b1010u);
+  EXPECT_TRUE(snap.contains(NodeId{700}));
+  EXPECT_EQ(dsm::NodeSet::from_words(snap.words()), snap);
 }
 
-TEST(CopysetTest, Rejects64PlusNodes) {
+TEST(CopysetTest, SupportsBeyond64Nodes) {
   dsm::Copyset cs;
-  EXPECT_THROW(cs.add(NodeId{64}), InternalError);
+  cs.add(NodeId{64});
+  cs.add(NodeId{1023});
+  EXPECT_TRUE(cs.contains(NodeId{64}));
+  EXPECT_TRUE(cs.contains(NodeId{1023}));
+  EXPECT_EQ(cs.count(), 2);
+}
+
+TEST(CopysetTest, RejectsNodesBeyondMax) {
+  dsm::Copyset cs;
+  EXPECT_THROW(cs.add(NodeId{dsm::kMaxNodes}), InternalError);
+}
+
+TEST(NodeSetTest, WireFootprintGrowsPer64Nodes) {
+  EXPECT_EQ(dsm::NodeSet::wire_bytes(8), 8u);    // legacy single word
+  EXPECT_EQ(dsm::NodeSet::wire_bytes(64), 8u);
+  EXPECT_EQ(dsm::NodeSet::wire_bytes(65), 16u);
+  EXPECT_EQ(dsm::NodeSet::wire_bytes(1024), 128u);
+}
+
+TEST(NodeSetTest, ContainsAllAndLowest) {
+  dsm::NodeSet a;
+  a.add(NodeId{2});
+  a.add(NodeId{70});
+  a.add(NodeId{500});
+  dsm::NodeSet b;
+  b.add(NodeId{70});
+  b.add(NodeId{500});
+  EXPECT_TRUE(a.contains_all(b));
+  EXPECT_FALSE(b.contains_all(a));
+  EXPECT_EQ(a.lowest(), NodeId{2});
+  a.remove(NodeId{2});
+  EXPECT_EQ(a.lowest(), NodeId{70});
+}
+
+// Property test of the multi-word bitmap against a reference std::set
+// model: random add/remove sequences at cluster sizes on both sides of
+// every word boundary must agree on membership, count, iteration order,
+// and the wire-word round trip at every step.
+TEST(CopysetTest, MatchesReferenceSetModel) {
+  for (const std::uint32_t nodes : {8u, 64u, 65u, 128u, 1024u}) {
+    Xoshiro256 rng(0x1998'0330u + nodes);
+    dsm::Copyset cs;
+    std::set<std::uint32_t> model;
+    for (int step = 0; step < 2000; ++step) {
+      const auto n = static_cast<std::uint32_t>(rng.bounded(nodes));
+      if (rng.bounded(3) == 0) {
+        cs.remove(NodeId{n});
+        model.erase(n);
+      } else {
+        cs.add(NodeId{n});
+        model.insert(n);
+      }
+      if (step % 100 != 0) continue;  // full audits are O(nodes)
+      const dsm::NodeSet snap = cs.snapshot();
+      EXPECT_EQ(snap.count(), model.size()) << nodes << " @" << step;
+      for (std::uint32_t i = 0; i < nodes; ++i) {
+        ASSERT_EQ(snap.contains(NodeId{i}), model.count(i) == 1)
+            << nodes << " node " << i << " @" << step;
+      }
+      // for_each visits exactly the model, in ascending node order.
+      std::vector<std::uint32_t> visited;
+      snap.for_each([&](NodeId id) { visited.push_back(id.value()); });
+      EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+      EXPECT_EQ(visited, std::vector<std::uint32_t>(model.begin(), model.end()))
+          << nodes << " @" << step;
+      if (!model.empty()) {
+        EXPECT_EQ(snap.lowest().value(), *model.begin());
+      }
+      // Wire round trip through exactly the words a `nodes`-sized cluster
+      // ships: the tail words beyond the highest possible node are zero.
+      const std::size_t words = dsm::NodeSet::words_for(nodes);
+      for (std::size_t w = words; w < dsm::kNodeSetWords; ++w) {
+        EXPECT_EQ(snap.words()[w], 0u) << nodes << " word " << w;
+      }
+      std::array<std::uint64_t, dsm::kNodeSetWords> wire{};
+      for (std::size_t w = 0; w < words; ++w) wire[w] = snap.words()[w];
+      EXPECT_EQ(dsm::NodeSet::from_words(wire), snap) << nodes << " @" << step;
+      EXPECT_EQ(dsm::Copyset::from(snap).snapshot(), snap);
+    }
+  }
 }
 
 }  // namespace

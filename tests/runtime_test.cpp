@@ -118,7 +118,13 @@ TEST(RuntimeTest, RejectsAbsurdClusterSizes) {
   ClusterConfig cfg = tiny_config();
   cfg.num_nodes = 0;
   EXPECT_THROW(Runtime(cfg, 8), UsageError);
-  cfg.num_nodes = 65;  // copysets are 64-bit bitmaps
+  cfg.num_nodes = static_cast<int>(dsm::kMaxNodes) + 1;  // over the bitmap
+  EXPECT_THROW(Runtime(cfg, 8), UsageError);
+  cfg.num_nodes = 8;
+  cfg.barrier_fanout = 1;  // a 1-ary tree is a degenerate chain: rejected
+  EXPECT_THROW(Runtime(cfg, 8), UsageError);
+  cfg.barrier_fanout = 0;
+  cfg.relay_fanout = 1;
   EXPECT_THROW(Runtime(cfg, 8), UsageError);
 }
 

@@ -40,6 +40,9 @@ struct Options {
   std::uint64_t fault_seed = 0;
   bool migration = true;
   bool aggregate = true;
+  int fanout = 0;           // 0 = flat barrier
+  int relay_threshold = 0;  // 0 = relay off
+  int relay_fanout = 4;
   bool breakdown = false;
   bool layout = false;
   int hot_pages = 0;
@@ -69,6 +72,12 @@ struct Options {
       "  --no-aggregate    send one flush per page instead of one\n"
       "                    aggregated batch per (sender, destination)\n"
       "                    pair per barrier (results are bit-identical)\n"
+      "  --fanout=K        k-ary tree barrier (0 = flat master barrier,\n"
+      "                    the default; results are bit-identical)\n"
+      "  --relay-threshold=N  relay a producer's update batches through a\n"
+      "                    dissemination tree when they target more than N\n"
+      "                    destinations (0 = off; results bit-identical)\n"
+      "  --relay-fanout=K  dissemination-tree fanout (default 4)\n"
       "  --gang=MODE       parallel|baton node scheduling (default\n"
       "                    parallel; output is byte-identical)\n"
       "  --seed=N          RNG seed\n"
@@ -130,6 +139,12 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "unknown gang mode: %s\n", v);
         usage(2);
       }
+    } else if (const char* v = value("--fanout=")) {
+      opt.fanout = std::atoi(v);
+    } else if (const char* v = value("--relay-threshold=")) {
+      opt.relay_threshold = std::atoi(v);
+    } else if (const char* v = value("--relay-fanout=")) {
+      opt.relay_fanout = std::atoi(v);
     } else if (arg == "--no-migration") {
       opt.migration = false;
     } else if (arg == "--no-aggregate") {
@@ -162,11 +177,17 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.gang = opt.gang;
   cfg.home_migration = opt.migration;
   cfg.aggregate_flushes = opt.aggregate;
+  cfg.barrier_fanout = opt.fanout;
+  cfg.relay_threshold = opt.relay_threshold;
+  cfg.relay_fanout = opt.relay_fanout;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
   if (!opt.faults.empty()) {
     cfg.faults = sim::FaultSpec::parse(load_fault_spec(opt.faults));
     cfg.fault_seed = opt.fault_seed;
   }
+  // Fail at parse time with a usable message (the deep checks would only
+  // trip once a run is underway).
+  dsm::validate_cluster_config(cfg);
   return cfg;
 }
 
