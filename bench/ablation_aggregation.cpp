@@ -108,10 +108,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n  \"bench\": \"flush_aggregation\",\n"
-               "  \"scale\": %.3f,\n  \"nodes\": %d,\n"
-               "  \"per_message_us\": [15, 45, 100, 200],\n"
-               "  \"runs\": [",
+               "  \"scale\": %.3f,\n  \"nodes\": %d,\n",
                opt.scale, opt.nodes);
+  bench::write_host_env_json(json, opt);
+  std::fprintf(json,
+               "  \"per_message_us\": [15, 45, 100, 200],\n"
+               "  \"runs\": [");
 
   bool first_json = true;
   std::string cur_header;

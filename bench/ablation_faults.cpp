@@ -117,10 +117,13 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"fault_injection\",\n"
                "  \"fault_seed\": %llu,\n  \"scale\": %.3f,\n"
-               "  \"nodes\": %d,\n  \"drop_rates\": [0, 0.01, 0.05, 0.1],\n"
-               "  \"runs\": [",
+               "  \"nodes\": %d,\n",
                static_cast<unsigned long long>(fault_seed), opt.scale,
                opt.nodes);
+  bench::write_host_env_json(json, opt);
+  std::fprintf(json,
+               "  \"drop_rates\": [0, 0.01, 0.05, 0.1],\n"
+               "  \"runs\": [");
 
   bool first_json = true;
   std::string cur_header;

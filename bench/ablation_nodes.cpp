@@ -162,10 +162,13 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"node_scaling\",\n"
                "  \"scale\": %.3f,\n  \"tree_fanout\": %d,\n"
-               "  \"relay_threshold\": %d,\n  \"host_cores\": %u,\n"
-               "  \"runs\": [",
-               opt.scale, tree_fanout, relay_threshold,
-               std::thread::hardware_concurrency());
+               "  \"relay_threshold\": %d,\n",
+               opt.scale, tree_fanout, relay_threshold);
+  // The sweep varies node counts, so the per-run resolved worker count can
+  // be lower (clamped to the cell's nodes); the header records the
+  // requested setting resolved against the default cluster size.
+  bench::write_host_env_json(json, opt);
+  std::fprintf(json, "  \"runs\": [");
 
   bool first_json = true;
   std::string cur_header;

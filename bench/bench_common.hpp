@@ -12,11 +12,13 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "updsm/harness/experiment.hpp"
 #include "updsm/harness/parallel_grid.hpp"
 #include "updsm/harness/report.hpp"
+#include "updsm/sim/gang.hpp"
 
 namespace updsm::bench {
 
@@ -33,6 +35,10 @@ struct BenchOptions {
   /// Intra-run node scheduling (--gang=parallel|baton). Output is
   /// byte-identical across modes; a ctest pins it.
   sim::GangMode gang = sim::GangMode::Parallel;
+  /// OS threads the gang multiplexes the simulated nodes over
+  /// (--workers=M; 0 = auto). Output is byte-identical for every value;
+  /// a ctest pins it.
+  int workers = 0;
   /// Barrier-time flush aggregation (--no-aggregate disables). Checksums
   /// are bit-identical either way; messages and times differ by design.
   bool aggregate = true;
@@ -72,6 +78,12 @@ struct BenchOptions {
           std::fprintf(stderr, "unknown gang mode: %s\n", v);
           std::exit(2);
         }
+      } else if (const char* v = value("--workers=")) {
+        opt.workers = std::atoi(v);
+        if (opt.workers < 1) {
+          std::fprintf(stderr, "--workers must be >= 1, got %s\n", v);
+          std::exit(2);
+        }
       } else if (arg == "--no-aggregate") {
         opt.aggregate = false;
       } else if (const char* v = value("--fanout=")) {
@@ -86,7 +98,7 @@ struct BenchOptions {
       } else if (arg == "--help") {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
-            "--gang=parallel|baton --no-aggregate --fanout=K "
+            "--gang=parallel|baton --workers=M --no-aggregate --fanout=K "
             "--relay-threshold=N --relay-fanout=K --quick\n");
         std::exit(0);
       } else {
@@ -111,6 +123,7 @@ struct BenchOptions {
     cfg.num_nodes = nodes;
     cfg.seed = seed;
     cfg.gang = gang;
+    cfg.workers = workers;
     cfg.aggregate_flushes = aggregate;
     cfg.barrier_fanout = fanout;
     cfg.relay_threshold = relay_threshold;
@@ -120,6 +133,24 @@ struct BenchOptions {
     return cfg;
   }
 };
+
+/// Host-execution provenance recorded uniformly in every BENCH_*.json so
+/// perf trajectories across machines and worker counts stay comparable:
+/// physical core count, the gang's *resolved* worker count, and the gang
+/// mode. Emits three `"key": value,` lines (caller is mid-object).
+inline void write_host_env_json(std::FILE* json, int resolved_workers,
+                                sim::GangMode mode) {
+  std::fprintf(json,
+               "  \"host_cores\": %u,\n  \"workers\": %d,\n"
+               "  \"gang\": \"%s\",\n",
+               std::thread::hardware_concurrency(), resolved_workers,
+               mode == sim::GangMode::Parallel ? "parallel" : "baton");
+}
+
+inline void write_host_env_json(std::FILE* json, const BenchOptions& opt) {
+  write_host_env_json(json, sim::Gang::resolve_workers(opt.workers, opt.nodes),
+                      opt.gang);
+}
 
 /// One cell of the experiment grid: an application under a protocol.
 struct GridCell {

@@ -32,3 +32,4 @@ set_target_properties(micro_primitives PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 updsm_add_bench(sweep_matrix)
 updsm_add_bench(convergence_timeline)
+updsm_add_bench(wallclock_scaling)

@@ -323,8 +323,14 @@ void write_diff_summary(const char* path) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"diff_create\",\n  \"page_bytes\": %zu,\n"
-               "  \"results\": [\n", kPage);
+  // Uniform host-provenance keys (host_cores / workers / gang) that every
+  // BENCH_*.json carries; diff creation is single-threaded so workers is 1
+  // and no gang is involved.
+  std::fprintf(f,
+               "{\n  \"bench\": \"diff_create\",\n  \"page_bytes\": %zu,\n"
+               "  \"host_cores\": %u,\n  \"workers\": 1,\n"
+               "  \"gang\": \"none\",\n  \"results\": [\n",
+               kPage, std::thread::hardware_concurrency());
   const char* patterns[] = {"identical", "sparse", "alternating", "dense"};
   bool first = true;
   for (const char* pattern : patterns) {
@@ -377,11 +383,15 @@ void write_gang_summary(const char* path) {
     return;
   }
   const unsigned cores = std::thread::hardware_concurrency();
+  // Uniform host-provenance keys: this bench sweeps both gang modes, so
+  // "gang" records that, and workers is the auto resolution at the largest
+  // swept cluster (per-cell counts clamp to each cell's node count).
   std::fprintf(f,
                "{\n  \"bench\": \"gang_modes\",\n  \"workload\": "
                "\"sor+barnes under bar-u, scale 0.4, 4 iters\",\n"
-               "  \"host_cores\": %u,\n  \"results\": [\n",
-               cores);
+               "  \"host_cores\": %u,\n  \"workers\": %d,\n"
+               "  \"gang\": \"sweep\",\n  \"results\": [\n",
+               cores, updsm::sim::Gang::resolve_workers(0, 8));
 
   auto wall_ms = [](int nodes, GangMode mode) {
     updsm::apps::AppParams params;

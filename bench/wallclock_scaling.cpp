@@ -1,0 +1,192 @@
+// Wall-clock scaling trajectory of the host-parallel execution engine.
+//
+// Sweeps jacobi + fft under {bar-u, lmw-u} at 8/64/256 simulated nodes with
+// the bounded worker pool at 1/2/4/8 OS threads, measuring *host* wall
+// seconds per cell (simulated results are bit-identical everywhere -- each
+// parallel run is checked against the sequential-baton baseline and the
+// bench aborts on any divergence). Emits BENCH_wallclock.json with, per
+// cell: wall seconds, simulated-node-barriers-per-core-second (the
+// engine-throughput figure of merit: nodes x barriers / (wall x cores
+// actually used)), and the speedup over the baton.
+//
+// stdout carries ONLY the deterministic `check ...` lines (one per
+// app/protocol/nodes cell -- independent of the worker sweep), so a ctest
+// can diff the output of two different --workers-list values byte for byte;
+// timings go to stderr and the JSON.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using updsm::bench::BenchOptions;
+using updsm::protocols::ProtocolKind;
+using GangMode = updsm::sim::GangMode;
+
+struct Timed {
+  updsm::harness::RunResult result;
+  double wall_s = 0.0;
+};
+
+Timed timed_run(const std::string& app, ProtocolKind kind,
+                const updsm::dsm::ClusterConfig& cfg,
+                const updsm::apps::AppParams& params) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  Timed t;
+  t.result = updsm::harness::run_app(app, kind, cfg, params);
+  t.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  return t;
+}
+
+std::vector<int> parse_workers_list(const char* v) {
+  std::vector<int> out;
+  const char* p = v;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long w = std::strtol(p, &end, 10);
+    if (end == p || w < 1) {
+      std::fprintf(stderr, "--workers-list entries must be >= 1: %s\n", v);
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(w));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != '\0' && *end != ',') {
+      std::fprintf(stderr, "bad --workers-list: %s\n", v);
+      std::exit(2);
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--workers-list must not be empty\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the bench-specific flags, forward the rest to the shared parser.
+  std::vector<int> workers_list = {1, 2, 4, 8};
+  bool quick = false;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers-list=", 15) == 0) {
+      workers_list = parse_workers_list(argv[i] + 15);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    fwd.push_back(argv[i]);
+  }
+  BenchOptions opt =
+      BenchOptions::parse(static_cast<int>(fwd.size()), fwd.data());
+
+  const std::vector<std::string> apps = {"jacobi", "fft"};
+  const std::vector<ProtocolKind> protos = {ProtocolKind::BarU,
+                                            ProtocolKind::LmwU};
+  std::vector<int> node_counts = quick ? std::vector<int>{8, 64}
+                                       : std::vector<int>{8, 64, 256};
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(stderr,
+               "wallclock_scaling: %zu apps x %zu protocols x %zu node "
+               "counts, workers sweep of %zu, on %u host cores\n",
+               apps.size(), protos.size(), node_counts.size(),
+               workers_list.size(), cores);
+
+  std::FILE* json = std::fopen("BENCH_wallclock.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_wallclock.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"wallclock_scaling\",\n"
+               "  \"scale\": %.3f,\n  \"iters\": %d,\n",
+               opt.scale, opt.iterations);
+  // The sweep varies workers per run (recorded per row); header "workers"
+  // is the auto resolution at the default cluster size, as everywhere.
+  updsm::bench::write_host_env_json(json, opt);
+  std::fprintf(json, "  \"runs\": [");
+
+  bool first_json = true;
+  for (const std::string& app : apps) {
+    for (const ProtocolKind kind : protos) {
+      for (const int nodes : node_counts) {
+        updsm::dsm::ClusterConfig cfg = opt.cluster_config();
+        cfg.num_nodes = nodes;
+        updsm::dsm::validate_cluster_config(cfg);
+        const updsm::apps::AppParams params = opt.app_params();
+
+        // Baseline: the sequential baton on one worker (the pre-pool
+        // execution model -- every node context multiplexed over a single
+        // host thread, strictly in node order).
+        updsm::dsm::ClusterConfig baton_cfg = cfg;
+        baton_cfg.gang = GangMode::Baton;
+        baton_cfg.workers = 1;
+        const Timed baton = timed_run(app, kind, baton_cfg, params);
+
+        for (const int w : workers_list) {
+          if (w > nodes) continue;  // clamp would alias a swept point
+          updsm::dsm::ClusterConfig par_cfg = cfg;
+          par_cfg.gang = GangMode::Parallel;
+          par_cfg.workers = w;
+          const Timed par = timed_run(app, kind, par_cfg, params);
+          if (par.result.checksum != baton.result.checksum ||
+              par.result.barriers != baton.result.barriers) {
+            std::fprintf(stderr,
+                         "FATAL: %s/%s at %d nodes, %d workers diverged "
+                         "from the baton (checksum %.17g vs %.17g)\n",
+                         app.c_str(), updsm::protocols::to_string(kind),
+                         nodes, w, par.result.checksum,
+                         baton.result.checksum);
+            return 1;
+          }
+          const int cores_used =
+              std::min(w, static_cast<int>(cores == 0 ? 1 : cores));
+          const double per_core_s =
+              static_cast<double>(nodes) *
+              static_cast<double>(par.result.barriers) /
+              (par.wall_s * static_cast<double>(cores_used));
+          std::fprintf(json,
+                       "%s\n    {\"app\": \"%s\", \"protocol\": \"%s\", "
+                       "\"nodes\": %d, \"workers\": %d, "
+                       "\"wall_s\": %.4f, \"baton_wall_s\": %.4f, "
+                       "\"barriers\": %llu, "
+                       "\"node_barriers_per_core_s\": %.1f, "
+                       "\"speedup_vs_baton\": %.3f}",
+                       first_json ? "" : ",", app.c_str(),
+                       updsm::protocols::to_string(kind), nodes, w,
+                       par.wall_s, baton.wall_s,
+                       static_cast<unsigned long long>(par.result.barriers),
+                       per_core_s, baton.wall_s / par.wall_s);
+          first_json = false;
+          std::fprintf(stderr,
+                       "  %-6s %-6s n=%-4d w=%-2d  %7.3fs  (baton %7.3fs, "
+                       "speedup %.2fx)\n",
+                       app.c_str(), updsm::protocols::to_string(kind), nodes,
+                       w, par.wall_s, baton.wall_s,
+                       baton.wall_s / par.wall_s);
+        }
+
+        // Deterministic per-cell line: simulation outputs only, identical
+        // for every --workers-list (each swept point already proved
+        // bit-identical to this baseline above).
+        std::printf("check app=%s proto=%s nodes=%d checksum=%.17g "
+                    "barriers=%llu\n",
+                    app.c_str(), updsm::protocols::to_string(kind), nodes,
+                    baton.result.checksum,
+                    static_cast<unsigned long long>(baton.result.barriers));
+      }
+    }
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::fprintf(stderr, "wrote BENCH_wallclock.json\n");
+  return 0;
+}

@@ -51,6 +51,11 @@ struct ClusterConfig {
   /// it); the cluster silently downgrades to Baton for protocols whose
   /// fault handlers are not parallel-safe (sc-sw).
   sim::GangMode gang = sim::GangMode::Parallel;
+  /// OS threads the parallel gang multiplexes the node contexts over.
+  /// 0 = auto (hardware concurrency); values above num_nodes are clamped
+  /// with a warning. Results are bit-identical for every worker count --
+  /// only host wall-clock changes. `--workers` on the tools.
+  int workers = 0;
   /// Barrier-time message aggregation: stage every barrier flush (diffs to
   /// home, update pushes) into one FlushBatch per (sender, destination)
   /// pair per barrier instead of one Flush per page (§2.1.2: "all diffs
@@ -139,6 +144,10 @@ inline void validate_cluster_config(const ClusterConfig& config) {
     throw UsageError("num_nodes must be between 1 and " +
                      std::to_string(kMaxNodes) + ", got " +
                      std::to_string(config.num_nodes));
+  }
+  if (config.workers < 0) {
+    throw UsageError("workers must be >= 1 (or 0 for auto), got " +
+                     std::to_string(config.workers));
   }
   if (config.barrier_fanout != 0 && config.barrier_fanout < 2) {
     throw UsageError(

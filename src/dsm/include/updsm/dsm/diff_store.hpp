@@ -30,6 +30,15 @@ class DiffStore {
     }
   };
 
+  ~DiffStore() { clear(); }  // close external-pool loans at teardown
+
+  /// Routes diff pooling through an external per-worker arena pool
+  /// (host-parallel engine) instead of the private free-list. Must be
+  /// bound while empty; the bound pool must outlive this store. Pool
+  /// contents never matter (takers clear or overwrite), so binding cannot
+  /// change results.
+  void bind_pool(mem::DiffPool* pool) { external_ = pool; }
+
   /// Stores a diff; replaces any previous diff with the same key.
   void put(const Key& key, mem::Diff diff);
 
@@ -40,8 +49,8 @@ class DiffStore {
 
   /// A cleared diff with pooled capacity, for Diff::create_into(). Spent
   /// diffs return to the pool via recycle() or any erase/clear/squash.
-  [[nodiscard]] mem::Diff take_scratch() { return pool_.take(); }
-  void recycle(mem::Diff&& diff) { pool_.recycle(std::move(diff)); }
+  [[nodiscard]] mem::Diff take_scratch() { return pool().take(); }
+  void recycle(mem::Diff&& diff) { pool().recycle(std::move(diff)); }
 
   /// Nullptr when absent.
   [[nodiscard]] const mem::Diff* find(const Key& key) const;
@@ -70,9 +79,14 @@ class DiffStore {
   }
 
  private:
+  [[nodiscard]] mem::DiffPool& pool() {
+    return external_ != nullptr ? *external_ : pool_;
+  }
+
   std::map<Key, mem::Diff> diffs_;
   std::uint64_t retained_bytes_ = 0;
   mem::DiffPool pool_;
+  mem::DiffPool* external_ = nullptr;  // per-worker arena, when bound
 };
 
 }  // namespace updsm::dsm

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
 #include "updsm/mem/diff.hpp"
 
@@ -88,6 +89,27 @@ class FlushBatchWriter {
   void reset() {
     buf_.clear();
     records_ = 0;
+  }
+
+  /// Installs a (pooled) backing buffer for the next begin()/add() cycle.
+  /// The writer must be reset; contents of `buffer` are discarded, only
+  /// its capacity matters. Pairs with release_buffer() so batch slots can
+  /// borrow from a per-worker arena instead of each retaining capacity.
+  void adopt_buffer(std::vector<std::byte>&& buffer) {
+    UPDSM_CHECK_MSG(buf_.empty() && records_ == 0,
+                    "adopt_buffer on a non-reset writer");
+    buf_ = std::move(buffer);
+    buf_.clear();
+  }
+
+  /// Surrenders the backing buffer (for recycling), leaving the writer
+  /// reset.
+  [[nodiscard]] std::vector<std::byte> release_buffer() {
+    records_ = 0;
+    std::vector<std::byte> out = std::move(buf_);
+    buf_ = {};
+    out.clear();
+    return out;
   }
 
  private:

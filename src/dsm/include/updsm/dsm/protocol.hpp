@@ -88,6 +88,12 @@ class CoherenceProtocol {
     (void)n;
     (void)iteration;
   }
+
+  /// Page-sized buffers (twins + service snapshots) currently held live
+  /// across all nodes -- i.e. the open loans against the per-worker
+  /// arenas' page pools. Simulator introspection for the pool-ownership
+  /// property test; protocols without pooled page buffers report 0.
+  [[nodiscard]] virtual std::uint64_t live_page_buffers() const { return 0; }
 };
 
 }  // namespace updsm::dsm

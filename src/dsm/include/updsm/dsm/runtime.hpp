@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "updsm/common/types.hpp"
 #include "updsm/dsm/config.hpp"
 #include "updsm/dsm/flush_batch.hpp"
+#include "updsm/dsm/pool_arena.hpp"
 #include "updsm/dsm/stats.hpp"
 #include "updsm/dsm/trace.hpp"
 #include "updsm/mem/page_table.hpp"
@@ -70,12 +72,29 @@ class Runtime {
   [[nodiscard]] sim::OsModel& os(NodeId n) { return os_[check(n)]; }
 
   /// Serializes remote-fetch service against protection upgrades on node
-  /// `n`'s frames under the parallel gang: a fetcher copies a served page
-  /// (live frame or service snapshot) under this lock, and the owner takes
-  /// it for the snapshot-create + mprotect(RW) step of its own write
-  /// faults, so a concurrent fetch never observes a torn frame.
-  [[nodiscard]] std::mutex& service_mutex(NodeId n) {
+  /// `n`'s frames under the parallel gang: fetchers copy a served page
+  /// (live frame or service snapshot) under a *shared* lock -- any number
+  /// of concurrent fetches may read the same owner's frames without
+  /// convoying -- while the owner takes it *exclusively* for the
+  /// snapshot-create + mprotect(RW) step of its own write faults, so a
+  /// concurrent fetch never observes a torn frame.
+  [[nodiscard]] std::shared_mutex& service_mutex(NodeId n) {
     return *service_mu_[check(n)];
+  }
+
+  // --- host-parallel allocation arenas -------------------------------------
+  /// Worker count the gang will run with (resolved: auto-detected and
+  /// clamped). Arenas are sized to match.
+  [[nodiscard]] int workers() const { return workers_; }
+  /// The allocation arena owned by gang worker `w`.
+  [[nodiscard]] PoolArena& arena(int w) { return *arenas_[w]; }
+  /// The arena of the worker that *owns* node `n` (Gang::owner_worker) --
+  /// not whichever thread happens to call. Deterministic routing keeps the
+  /// loan accounting exact and the pools uncontended (only the owning
+  /// worker touches a node mid-phase; barrier hooks run with workers
+  /// parked).
+  [[nodiscard]] PoolArena& arena_for_node(NodeId n) {
+    return *arenas_[node_arena_[check(n)]];
   }
 
   [[nodiscard]] sim::Network& net() { return net_; }
@@ -274,7 +293,10 @@ class Runtime {
   std::vector<std::unique_ptr<mem::PageTable>> tables_;
   std::vector<sim::VirtualClock> clocks_;
   std::vector<sim::OsModel> os_;
-  std::vector<std::unique_ptr<std::mutex>> service_mu_;
+  std::vector<std::unique_ptr<std::shared_mutex>> service_mu_;
+  int workers_ = 1;
+  std::vector<std::unique_ptr<PoolArena>> arenas_;  // [worker]
+  std::vector<int> node_arena_;                     // node -> owning worker
   sim::Network net_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;
   ProtocolCounters counters_;

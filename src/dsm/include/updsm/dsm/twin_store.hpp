@@ -13,11 +13,24 @@
 
 #include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
+#include "updsm/mem/buffer_pool.hpp"
 
 namespace updsm::dsm {
 
 class TwinStore {
  public:
+  ~TwinStore() { clear(); }  // close external-pool loans at teardown
+
+  /// Routes buffer pooling through an external per-worker arena pool
+  /// instead of the private free-list (host-parallel engine). Must be
+  /// bound before any twin exists; the bound pool must outlive this store.
+  /// Buffer contents never matter (create() overwrites the whole page), so
+  /// binding cannot change results.
+  void bind_pool(mem::BufferPool* pool) {
+    UPDSM_CHECK_MSG(twins_.empty(), "bind_pool with live twins");
+    external_ = pool;
+  }
+
   /// Snapshots `page_data` as the twin of `page`. A twin must not already
   /// exist (protocols create exactly one twin per page per epoch). Reuses a
   /// pooled buffer from an earlier discard() when one is available, so the
@@ -26,7 +39,9 @@ class TwinStore {
   void create(PageId page, std::span<const std::byte> page_data) {
     auto [it, inserted] = twins_.try_emplace(page);
     UPDSM_CHECK_MSG(inserted, "twin for page " << page << " already exists");
-    if (!pool_.empty()) {
+    if (external_ != nullptr) {
+      it->second = external_->take();
+    } else if (!pool_.empty()) {
       it->second = std::move(pool_.back());
       pool_.pop_back();
     }
@@ -76,12 +91,17 @@ class TwinStore {
   static constexpr std::size_t kMaxPooled = 64;
 
   void recycle(std::vector<std::byte>&& buffer) {
+    if (external_ != nullptr) {
+      external_->recycle(std::move(buffer));
+      return;
+    }
     if (buffer.capacity() == 0 || pool_.size() >= kMaxPooled) return;
     pool_.push_back(std::move(buffer));
   }
 
   std::unordered_map<PageId, std::vector<std::byte>> twins_;
   std::vector<std::vector<std::byte>> pool_;
+  mem::BufferPool* external_ = nullptr;  // per-worker arena, when bound
 };
 
 inline std::vector<PageId> TwinStore::pages_sorted() const {

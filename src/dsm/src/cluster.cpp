@@ -31,7 +31,8 @@ Cluster::Cluster(const ClusterConfig& config, const mem::SharedHeap& heap,
                  std::unique_ptr<CoherenceProtocol> protocol)
     : rt_(config, heap.segment_pages()),
       protocol_(std::move(protocol)),
-      gang_(config.num_nodes, effective_gang_mode(config, protocol_.get())) {
+      gang_(config.num_nodes, effective_gang_mode(config, protocol_.get()),
+            config.workers) {
   UPDSM_REQUIRE(protocol_ != nullptr, "cluster needs a protocol");
   UPDSM_REQUIRE(heap.page_size() == config.page_size,
                 "heap page size " << heap.page_size()

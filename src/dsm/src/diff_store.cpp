@@ -9,14 +9,14 @@ void DiffStore::put(const Key& key, mem::Diff diff) {
   const auto it = diffs_.find(key);
   if (it != diffs_.end()) {
     retained_bytes_ -= it->second.memory_bytes();
-    pool_.recycle(std::move(it->second));
+    pool().recycle(std::move(it->second));
   }
   retained_bytes_ += diff.memory_bytes();
   diffs_.insert_or_assign(key, std::move(diff));
 }
 
 void DiffStore::put_copy(const Key& key, const mem::Diff& diff) {
-  mem::Diff copy = pool_.take();
+  mem::Diff copy = pool().take();
   copy = diff;  // vector copy-assignment reuses the recycled capacity
   put(key, std::move(copy));
 }
@@ -41,7 +41,7 @@ void DiffStore::squash_put(const Key& key, mem::Diff diff) {
          it->first.epoch < key.epoch) {
     if (it->first.creator == key.creator && diff.covers(it->second)) {
       retained_bytes_ -= it->second.memory_bytes();
-      pool_.recycle(std::move(it->second));
+      pool().recycle(std::move(it->second));
       it = diffs_.erase(it);
     } else {
       ++it;
@@ -54,12 +54,12 @@ void DiffStore::erase(const Key& key) {
   const auto it = diffs_.find(key);
   if (it == diffs_.end()) return;
   retained_bytes_ -= it->second.memory_bytes();
-  pool_.recycle(std::move(it->second));
+  pool().recycle(std::move(it->second));
   diffs_.erase(it);
 }
 
 void DiffStore::clear() {
-  for (auto& [key, diff] : diffs_) pool_.recycle(std::move(diff));
+  for (auto& [key, diff] : diffs_) pool().recycle(std::move(diff));
   diffs_.clear();
   retained_bytes_ = 0;
 }

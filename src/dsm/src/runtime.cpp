@@ -35,7 +35,17 @@ Runtime::Runtime(const ClusterConfig& config, std::uint32_t num_pages)
              sim::OsModel(config.costs.os, num_pages));
   service_mu_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    service_mu_.push_back(std::make_unique<std::mutex>());
+    service_mu_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  workers_ = sim::Gang::resolve_workers(config.workers, n);
+  arenas_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    arenas_.push_back(std::make_unique<PoolArena>());
+  }
+  node_arena_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    node_arena_[static_cast<std::size_t>(i)] =
+        sim::Gang::owner_worker(i, n, workers_);
   }
   if (config.trace) trace_ = std::make_unique<TraceLog>(n);
   if (!config.faults.empty()) {
@@ -296,6 +306,10 @@ void Runtime::stage_flush(NodeId from, NodeId to, PageId page, NodeId creator,
       from.index() * static_cast<std::size_t>(num_nodes()) + to.index();
   StagedBatch& slot = staged_[idx];
   if (slot.writer.bytes().empty()) {
+    // Borrow the backing buffer from the sender-owner's arena for the
+    // lifetime of this barrier's batch; seal returns it. Retained batch
+    // capacity is thus bounded by the arenas, not by n^2 live slots.
+    slot.writer.adopt_buffer(arena_for_node(from).batch_buffers.take());
     slot.writer.begin(from);
     staged_active_.push_back(idx);
   }
@@ -392,7 +406,7 @@ void Runtime::seal_flush_batches() {
       // A dropped batch loses *all* its records; the protocols heal through
       // the same per-record recovery as lost per-page flushes (bar version-
       // index invalidation, lmw lazy refetch).
-      slot.writer.reset();
+      arena_for_node(from).batch_buffers.recycle(slot.writer.release_buffer());
       slot.deliver.clear();
       slot.reliable = false;
     }
@@ -585,7 +599,9 @@ void Runtime::seal_flush_batches_relayed() {
       }
       UPDSM_CHECK(reader.next(rec) == BatchReadStatus::End);
     }
-    slot.writer.reset();
+    const NodeId from{
+        static_cast<std::uint32_t>(idx / static_cast<std::size_t>(num_nodes()))};
+    arena_for_node(from).batch_buffers.recycle(slot.writer.release_buffer());
     slot.deliver.clear();
     slot.reliable = false;
     slot.delivered = false;

@@ -1,0 +1,61 @@
+// Bounded free-list of raw byte buffers with loan accounting.
+//
+// The DSM layer's page-sized allocations (twins, service snapshots,
+// FlushBatchWriter backing stores) cycle through pools so steady-state
+// barriers allocate nothing. With the host-parallel gang those pools are
+// per-worker arenas (dsm::PoolArena); the take/recycle counters let the
+// pool-ownership property test prove the discipline: every loan returns to
+// the arena it was taken from, so takes - recycles == buffers still live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace updsm::mem {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_pooled = 64)
+      : max_pooled_(max_pooled) {}
+
+  /// A recycled buffer (cleared, capacity intact) or a fresh empty one.
+  /// Every take opens a loan; close it with recycle().
+  [[nodiscard]] std::vector<std::byte> take() {
+    ++takes_;
+    if (free_.empty()) return {};
+    ++hits_;
+    std::vector<std::byte> buffer = std::move(free_.back());
+    free_.pop_back();
+    buffer.clear();
+    return buffer;
+  }
+
+  /// Closes a loan. Keeps the buffer for a later take() unless the pool is
+  /// full or the buffer never allocated (bounded so a one-off burst cannot
+  /// pin memory forever).
+  void recycle(std::vector<std::byte>&& buffer) {
+    ++recycles_;
+    if (buffer.capacity() == 0 || free_.size() >= max_pooled_) return;
+    buffer.clear();
+    free_.push_back(std::move(buffer));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  [[nodiscard]] std::uint64_t takes() const { return takes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t recycles() const { return recycles_; }
+  /// Buffers currently on loan (taken and not yet recycled).
+  [[nodiscard]] std::uint64_t outstanding() const {
+    return takes_ - recycles_;
+  }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t takes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t recycles_ = 0;
+};
+
+}  // namespace updsm::mem

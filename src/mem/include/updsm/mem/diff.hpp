@@ -110,12 +110,21 @@ class Diff {
 
 /// Bounded free-list of spent Diff objects. Protocol epochs create and
 /// destroy one diff per twinned page; routing the dead ones through a pool
-/// lets create_into() reuse their buffers instead of reallocating.
+/// lets create_into() reuse their buffers instead of reallocating. The
+/// take/recycle counters carry the loan-accounting invariant of the
+/// per-worker arenas (takes - recycles == diffs still live); pool contents
+/// never influence results, since takers clear or overwrite the buffers.
 class DiffPool {
  public:
-  /// A recycled diff (cleared, capacity intact), or a fresh one.
+  explicit DiffPool(std::size_t max_pooled = 64)
+      : max_pooled_(max_pooled) {}
+
+  /// A recycled diff (cleared, capacity intact), or a fresh one. Every
+  /// take opens a loan; close it with recycle().
   [[nodiscard]] Diff take() {
+    ++takes_;
     if (pool_.empty()) return Diff{};
+    ++hits_;
     Diff d = std::move(pool_.back());
     pool_.pop_back();
     return d;
@@ -124,16 +133,27 @@ class DiffPool {
   /// Clears `diff` and keeps its buffers for a later take(). Bounded so a
   /// one-off burst of diffs cannot pin memory forever.
   void recycle(Diff&& diff) {
-    if (pool_.size() >= kMaxPooled) return;
+    ++recycles_;
+    if (pool_.size() >= max_pooled_) return;
     diff.clear();
     pool_.push_back(std::move(diff));
   }
 
   [[nodiscard]] std::size_t size() const { return pool_.size(); }
+  [[nodiscard]] std::uint64_t takes() const { return takes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t recycles() const { return recycles_; }
+  /// Diffs currently on loan (taken and not yet recycled).
+  [[nodiscard]] std::uint64_t outstanding() const {
+    return takes_ - recycles_;
+  }
 
  private:
-  static constexpr std::size_t kMaxPooled = 64;
+  std::size_t max_pooled_;
   std::vector<Diff> pool_;
+  std::uint64_t takes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t recycles_ = 0;
 };
 
 }  // namespace updsm::mem

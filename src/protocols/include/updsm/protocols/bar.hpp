@@ -77,6 +77,14 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   /// untracked-page retracking is deferred to barrier_master via per-node
   /// fetch logs.
   [[nodiscard]] bool parallel_safe() const override { return true; }
+
+  [[nodiscard]] std::uint64_t live_page_buffers() const override {
+    std::uint64_t live = 0;
+    for (const NodeState& st : nodes_) {
+      live += st.twins.size() + st.snapshots.size();
+    }
+    return live;
+  }
   void barrier_arrive(NodeId n) override;
   void barrier_master() override;
   void barrier_release(NodeId n) override;
@@ -213,11 +221,12 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   BarMode mode_;
   dsm::Runtime* rt_ = nullptr;
   std::vector<NodeState> nodes_;
-  /// Spent diffs (applied queued flushes, consumed inbox pushes, zero
-  /// diffs) recycled for create_into() reuse. Touched only by the barrier
-  /// hooks, which run controller-context with every node parked, so one
-  /// protocol-wide pool is race-free in both gang modes.
-  mem::DiffPool diff_pool_;
+  /// Diff scratch routes through the per-worker arenas of the runtime
+  /// (rt_->arena_for_node): creators take from -- and spent diffs recycle
+  /// to -- the arena of the worker owning the node named in the call, so
+  /// mid-phase pool traffic is single-threaded by construction and the
+  /// barrier hooks (controller context, workers parked) drain the loans
+  /// deterministically.
   std::vector<PageGlobal> global_;
   /// Pages touched this epoch (set at first write note; master consumes).
   std::vector<PageId> epoch_touched_;

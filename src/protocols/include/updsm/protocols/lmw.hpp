@@ -60,6 +60,14 @@ class LmwProtocol final : public dsm::CoherenceProtocol {
 
   [[nodiscard]] std::uint64_t gc_rounds() const { return gc_rounds_; }
 
+  [[nodiscard]] std::uint64_t live_page_buffers() const override {
+    std::uint64_t live = 0;
+    for (const NodeState& st : nodes_) {
+      live += st.twins.size() + st.snapshots.size();
+    }
+    return live;
+  }
+
  private:
   struct PageLocal {
     /// Notices for foreign diffs that must be applied before the next

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 
 #include "updsm/common/log.hpp"
@@ -48,6 +49,11 @@ void BarProtocol::init(dsm::Runtime& rt) {
     st.cached_version.assign(pages, 0);
     st.dirty.assign(pages, false);
     st.writable_union.assign(pages, false);
+    // Page-buffer traffic (twins, service snapshots) routes through the
+    // arena of the gang worker that owns this node: uncontended mid-phase,
+    // deterministically drained by the barrier hooks.
+    st.twins.bind_pool(&rt.arena_for_node(node_id).pages);
+    st.snapshots.bind_pool(&rt.arena_for_node(node_id).pages);
     // Everyone starts with an identical zero-filled copy, write-protected.
     for (std::uint32_t p = 0; p < pages; ++p) {
       rt.table(node_id).set_prot(PageId{p}, Protect::Read);
@@ -73,10 +79,13 @@ void BarProtocol::fetch_page(NodeId n, PageId page, bool count_as_miss) {
   // twin/snapshot and write-enables the frame atomically with respect to
   // this copy, so a torn or part-epoch read is impossible. (LRC never
   // ordered the home's same-epoch writes before this access anyway.)
+  // Shared mode: fetchers only read the home's state, so any number of
+  // nodes may fetch from one hot home concurrently without convoying --
+  // only the home's own write-fault upgrade takes the lock exclusively.
   {
     NodeState& hs = node(home);
     auto dst = rt_->table(n).frame(page);
-    std::lock_guard<std::mutex> lock(rt_->service_mutex(home));
+    std::shared_lock<std::shared_mutex> lock(rt_->service_mutex(home));
     std::span<const std::byte> src;
     if (hs.snapshots.has(page)) {
       src = hs.snapshots.get(page);
@@ -202,7 +211,7 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
     // until a consumer appears.
     gpage(page).untracked = true;
     ++rt_->counters().private_entries;
-    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    std::lock_guard<std::shared_mutex> lock(rt_->service_mutex(n));
     if (!st.snapshots.has(page)) {
       // Service snapshot: fetchers are served these (last-barrier) bytes
       // while the frame is writable. A leftover snapshot from a previous
@@ -219,7 +228,7 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
   if (n == home) {
     // The home's twin/snapshot installation and frame write-enable must be
     // atomic with respect to concurrent fetch_page copies (see there).
-    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    std::lock_guard<std::shared_mutex> lock(rt_->service_mutex(n));
     if (need_twin && !st.twins.has(page)) {
       st.twins.create(page, rt_->table(n).frame(page));
       ++rt_->counters().twins_created;
@@ -236,7 +245,7 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
     // its home), but the twin map is one container per NODE: a concurrent
     // fetch of a *different* page homed at n walks the same hashtable
     // under the service mutex, so this insert must hold it too.
-    std::lock_guard<std::mutex> lock(rt_->service_mutex(n));
+    std::lock_guard<std::shared_mutex> lock(rt_->service_mutex(n));
     if (need_twin && !st.twins.has(page)) {
       st.twins.create(page, rt_->table(n).frame(page));
       ++rt_->counters().twins_created;
@@ -290,7 +299,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
 
   for (const PageId page : to_diff) {
     PageGlobal& gp = gpage(page);
-    Diff diff = diff_pool_.take();
+    Diff diff = rt_->arena_for_node(n).diffs.take();
     Diff::create_into(diff, st.twins.get(page), rt_->table(n).frame(page));
     rt_->charge_dsm(n, dsm_costs.diff_fixed,
                     dsm_costs.diff_create_per_byte_ns, rt_->page_size());
@@ -312,7 +321,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
       // Predicted-but-unwritten page: pure overhead (paper §4.1), or a
       // trapped write that restored the original values.
       ++rt_->counters().zero_diffs;
-      diff_pool_.recycle(std::move(diff));
+      rt_->arena_for_node(n).diffs.recycle(std::move(diff));
       continue;
     }
     // A real modification exists: this node is a writer of the page.
@@ -341,8 +350,9 @@ void BarProtocol::barrier_arrive(NodeId n) {
             [this, member](const dsm::FlushRecordView& rec) {
               ++rt_->counters().updates_received;
               // Copy through a recycled diff so the inbox copy reuses
-              // capacity.
-              Diff copy = diff_pool_.take();
+              // capacity -- the receiving member's arena, since the entry
+              // lands in (and is later recycled from) member's inbox.
+              Diff copy = rt_->arena_for_node(member).diffs.take();
               rec.decode_into(copy);
               node(member).inbox.push_back(
                   InboxEntry{rec.page, rec.creator, std::move(copy)});
@@ -353,7 +363,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
     if (n != gp.home) {
       gp.queued.push_back(QueuedDiff{n, std::move(diff)});
     } else {
-      diff_pool_.recycle(std::move(diff));
+      rt_->arena_for_node(n).diffs.recycle(std::move(diff));
     }
   }
 
@@ -437,7 +447,10 @@ void BarProtocol::barrier_master() {
                                           gp.writers_epoch});
     gp.version = new_version;
     node(home).cached_version[page.index()] = new_version;
-    for (QueuedDiff& qd : gp.queued) diff_pool_.recycle(std::move(qd.diff));
+    for (QueuedDiff& qd : gp.queued) {
+      // Back to the creator's arena, closing the loan opened at diff time.
+      rt_->arena_for_node(qd.creator).diffs.recycle(std::move(qd.diff));
+    }
     gp.queued.clear();
     gp.writers_epoch.clear();
     gp.home_wrote = false;
@@ -722,8 +735,11 @@ void BarProtocol::barrier_release(NodeId n) {
   }
 
   // Drop all inbox entries for this epoch (applied or ignored), recycling
-  // their diff buffers.
-  for (InboxEntry& e : st.inbox) diff_pool_.recycle(std::move(e.diff));
+  // their diff buffers into this node's arena (the one they were copied
+  // from at delivery).
+  for (InboxEntry& e : st.inbox) {
+    rt_->arena_for_node(n).diffs.recycle(std::move(e.diff));
+  }
   st.inbox.clear();
 
   // Learning: pages that receive updates feed bar-m's writable union.

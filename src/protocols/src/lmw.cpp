@@ -19,8 +19,18 @@ using sim::SimTime;
 void LmwProtocol::init(dsm::Runtime& rt) {
   rt_ = &rt;
   nodes_.resize(static_cast<std::size_t>(rt.num_nodes()));
-  for (auto& node_state : nodes_) {
+  for (int i = 0; i < rt.num_nodes(); ++i) {
+    auto& node_state = nodes_[static_cast<std::size_t>(i)];
     node_state.pages.resize(rt.num_pages());
+    // Route every pooled allocation of this node (twins, service snapshots,
+    // retained/created diffs, stored update copies) through the arena of
+    // the gang worker that owns it: uncontended mid-phase, deterministic
+    // loan accounting at the barrier.
+    dsm::PoolArena& arena = rt.arena_for_node(NodeId{static_cast<std::uint32_t>(i)});
+    node_state.twins.bind_pool(&arena.pages);
+    node_state.snapshots.bind_pool(&arena.pages);
+    node_state.created.bind_pool(&arena.diffs);
+    node_state.stored_updates.bind_pool(&arena.diffs);
   }
   // Every node starts with an identical (zero-filled) valid copy of the
   // whole segment, write-protected so that first writes are trapped.

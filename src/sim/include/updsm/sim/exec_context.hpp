@@ -19,9 +19,19 @@ inline constexpr int kControllerContext = -1;
 /// kControllerContext outside node functions.
 [[nodiscard]] int current_exec_node();
 
+/// The gang worker thread this OS thread is (0..workers-1), or
+/// kControllerContext on any non-worker thread. Unlike current_exec_node,
+/// this is a property of the thread itself, not of the fiber it is
+/// running; the gang's baton hand-off uses it to skip the OS wake when the
+/// next node already lives on the running worker.
+[[nodiscard]] int current_exec_worker();
+
 namespace detail {
-/// Set by Gang worker threads; pass kControllerContext to clear.
+/// Set by Gang around each node fiber resume; pass kControllerContext to
+/// clear.
 void set_exec_node(int node);
+/// Set once by each Gang worker thread at startup.
+void set_exec_worker(int worker);
 }  // namespace detail
 
 }  // namespace updsm::sim

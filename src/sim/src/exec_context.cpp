@@ -4,12 +4,16 @@ namespace updsm::sim {
 
 namespace {
 thread_local int tls_exec_node = kControllerContext;
+thread_local int tls_exec_worker = kControllerContext;
 }  // namespace
 
 int current_exec_node() { return tls_exec_node; }
 
+int current_exec_worker() { return tls_exec_worker; }
+
 namespace detail {
 void set_exec_node(int node) { tls_exec_node = node; }
+void set_exec_worker(int worker) { tls_exec_worker = worker; }
 }  // namespace detail
 
 }  // namespace updsm::sim

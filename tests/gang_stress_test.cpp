@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "updsm/common/rng.hpp"
@@ -60,13 +61,19 @@ struct Observed {
   dsm::BreakdownReport breakdown;
 };
 
-Observed run_stress(ProtocolKind kind, GangMode mode) {
+Observed run_stress(ProtocolKind kind, GangMode mode, int workers = 0,
+                    const std::string& faults = {}) {
   const bool rotate =
       kind != ProtocolKind::BarS && kind != ProtocolKind::BarM;
   ClusterConfig cfg;
   cfg.num_nodes = kNodes;
   cfg.page_size = 1024;
   cfg.gang = mode;
+  cfg.workers = workers;
+  if (!faults.empty()) {
+    cfg.faults = sim::FaultSpec::parse(faults);
+    cfg.fault_seed = 0x5eed'f00dULL;
+  }
   mem::SharedHeap heap(cfg.page_size);
   const GlobalAddr a = heap.alloc_page_aligned(kElems * 8, "x");
 
@@ -172,6 +179,31 @@ TEST_P(GangStressTest, BatonAndParallelAreIndistinguishable) {
   EXPECT_GT(parallel.counters.remote_misses, 10u);
   EXPECT_GT(parallel.counters.write_faults, 10u);
   expect_identical(baton, parallel, protocols::to_string(kind));
+}
+
+// The bounded worker pool's determinism contract is the same, one axis
+// wider: for every worker count M (1, a strict subset, and M == nodes) the
+// parallel run must be field-for-field indistinguishable from the
+// single-worker baton -- including under a seeded adversarial fault plan,
+// whose drop/dup/delay decision streams are consumed in protocol order and
+// must not leak host scheduling into the simulation.
+TEST_P(GangStressTest, WorkerCountsAreIndistinguishable) {
+  const ProtocolKind kind = GetParam();
+  for (const char* plan : {"", "drop=0.05,dup=0.03,delay=0.05,delay_us=200"}) {
+    const std::string faults = plan;
+    const Observed baton = run_stress(kind, GangMode::Baton, 1, faults);
+    for (const int workers : {1, 2, kNodes}) {
+      const Observed pool =
+          run_stress(kind, GangMode::Parallel, workers, faults);
+      const std::string label = std::string(protocols::to_string(kind)) +
+                                " workers=" + std::to_string(workers) +
+                                (faults.empty() ? "" : " +faults");
+      expect_identical(baton, pool, label.c_str());
+    }
+    // The baton itself must also be worker-count independent.
+    const Observed baton4 = run_stress(kind, GangMode::Baton, kNodes, faults);
+    expect_identical(baton, baton4, "baton workers=4");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPaperProtocols, GangStressTest,

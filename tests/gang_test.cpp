@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -145,8 +146,9 @@ TEST(GangParallelTest, AllNodesRunConcurrentlyWithinAPhase) {
   // A rendezvous that only completes if every node is admitted to the phase
   // at once: each node arrives and then waits for the others *without*
   // reaching the gang barrier. Under the baton (one runnable node at a
-  // time) this would deadlock; in parallel mode it must finish.
-  Gang gang(4, GangMode::Parallel);
+  // time) this would deadlock; in parallel mode it must finish. Mid-phase
+  // cross-node spinning requires one worker per node (see gang.hpp caveat).
+  Gang gang(4, GangMode::Parallel, /*workers=*/4);
   ASSERT_EQ(gang.mode(), GangMode::Parallel);
   std::atomic<int> arrived{0};
   gang.run(
@@ -260,6 +262,143 @@ TEST(GangParallelTest, ManyNodesManyRounds) {
 TEST(GangParallelTest, ModeNames) {
   EXPECT_STREQ(to_string(GangMode::Baton), "baton");
   EXPECT_STREQ(to_string(GangMode::Parallel), "parallel");
+}
+
+// --- bounded worker pool ----------------------------------------------------
+
+TEST(GangWorkersTest, ResolveWorkersClampsAndAutoDetects) {
+  EXPECT_EQ(Gang::resolve_workers(3, 8), 3);
+  EXPECT_EQ(Gang::resolve_workers(8, 8), 8);
+  EXPECT_EQ(Gang::resolve_workers(100, 8), 8);  // clamp to nodes
+  const int auto_workers = Gang::resolve_workers(0, 1024);
+  EXPECT_GE(auto_workers, 1);
+  EXPECT_LE(auto_workers, 1024);
+  EXPECT_EQ(Gang::resolve_workers(0, 1), 1);
+  EXPECT_THROW((void)Gang::resolve_workers(-1, 8), UsageError);
+  EXPECT_THROW(Gang(4, GangMode::Parallel, -2), UsageError);
+}
+
+TEST(GangWorkersTest, OwnerWorkerIsAContiguousPartition) {
+  for (const int nodes : {1, 3, 7, 8, 16, 256, 1024}) {
+    for (const int workers : {1, 2, 3, 4, 8}) {
+      if (workers > nodes) continue;
+      int prev = 0;
+      std::vector<int> sizes(static_cast<std::size_t>(workers), 0);
+      for (int n = 0; n < nodes; ++n) {
+        const int w = Gang::owner_worker(n, nodes, workers);
+        ASSERT_GE(w, prev) << "assignment must be monotone";
+        ASSERT_LT(w, workers);
+        prev = w;
+        ++sizes[static_cast<std::size_t>(w)];
+      }
+      const int base = nodes / workers;
+      for (const int s : sizes) {
+        EXPECT_GE(s, base);  // balanced: every worker owns base or base+1
+        EXPECT_LE(s, base + 1);
+      }
+    }
+  }
+}
+
+#ifdef __linux__
+// Counts this process's OS threads via /proc; the whole point of the pool.
+int os_thread_count() {
+  int count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+TEST(GangWorkersTest, LargeGangSpawnsOnlyWorkersThreads) {
+  const int before = os_thread_count();
+  Gang gang(256, GangMode::Parallel, /*workers=*/4);
+  EXPECT_EQ(gang.workers(), 4);
+  EXPECT_LE(os_thread_count(), before + 4);
+  std::vector<std::atomic<int>> counts(256);
+  gang.run(
+      [&](int node) {
+        for (int i = 0; i < 3; ++i) {
+          counts[static_cast<std::size_t>(node)].fetch_add(1);
+          gang.barrier_wait(node);
+        }
+      },
+      [](std::uint64_t) {});
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 3);
+  EXPECT_EQ(gang.barriers_completed(), 3u);
+}
+#endif
+
+TEST(GangWorkersTest, BatonOrderIdenticalForEveryWorkerCount) {
+  auto trace = [](int workers) {
+    Gang gang(5, GangMode::Baton, workers);
+    std::vector<int> order;
+    gang.run(
+        [&](int node) {
+          for (int round = 0; round < 4; ++round) {
+            order.push_back(node);
+            gang.barrier_wait(node);
+          }
+        },
+        [](std::uint64_t) {});
+    return order;
+  };
+  const std::vector<int> baseline = trace(1);
+  ASSERT_EQ(baseline.size(), 20u);
+  for (int round = 0; round < 4; ++round) {
+    for (int node = 0; node < 5; ++node) {
+      EXPECT_EQ(baseline[static_cast<std::size_t>(round * 5 + node)], node);
+    }
+  }
+  EXPECT_EQ(trace(2), baseline);
+  EXPECT_EQ(trace(3), baseline);
+  EXPECT_EQ(trace(5), baseline);
+}
+
+TEST(GangWorkersTest, ParallelPhasesCompleteForEveryWorkerCount) {
+  for (const int workers : {1, 2, 3, 7}) {
+    Gang gang(7, GangMode::Parallel, workers);
+    EXPECT_EQ(gang.workers(), workers);
+    std::vector<std::atomic<int>> counts(7);
+    gang.run(
+        [&](int node) {
+          for (int i = 0; i < 10; ++i) {
+            counts[static_cast<std::size_t>(node)].fetch_add(1);
+            gang.barrier_wait(node);
+          }
+        },
+        [](std::uint64_t) {});
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 10);
+    EXPECT_EQ(gang.barriers_completed(), 10u);
+  }
+}
+
+TEST(GangWorkersTest, ErrorsPropagateWithSharedWorkers) {
+  // Node 2 throws while nodes 0/1/3 (some on the same worker) are parked
+  // at the barrier; the pool must unwind every suspended fiber and stay
+  // usable.
+  for (const auto mode : {GangMode::Baton, GangMode::Parallel}) {
+    Gang gang(4, mode, /*workers=*/2);
+    EXPECT_THROW(
+        gang.run(
+            [&](int node) {
+              gang.barrier_wait(node);
+              if (node == 2) throw std::runtime_error("node 2 died");
+              gang.barrier_wait(node);
+            },
+            [](std::uint64_t) {}),
+        std::runtime_error);
+    std::atomic<int> visits{0};
+    gang.run(
+        [&](int node) {
+          visits.fetch_add(1);
+          gang.barrier_wait(node);
+        },
+        [](std::uint64_t) {});
+    EXPECT_EQ(visits.load(), 4);
+  }
 }
 
 }  // namespace

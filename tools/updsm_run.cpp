@@ -50,6 +50,7 @@ struct Options {
   bool csv = false;
   std::uint64_t seed = 0x1998'0330;
   sim::GangMode gang = sim::GangMode::Parallel;
+  int workers = 0;  // 0 = auto (hardware concurrency)
 };
 
 [[noreturn]] void usage(int code) {
@@ -80,6 +81,9 @@ struct Options {
       "  --relay-fanout=K  dissemination-tree fanout (default 4)\n"
       "  --gang=MODE       parallel|baton node scheduling (default\n"
       "                    parallel; output is byte-identical)\n"
+      "  --workers=M       OS threads multiplexing the simulated nodes\n"
+      "                    (default: host cores, clamped to N; output is\n"
+      "                    byte-identical for every M)\n"
       "  --seed=N          RNG seed\n"
       "  --breakdown       print the Figure-3 style time breakdown\n"
       "  --hot-pages=N     print the N busiest pages with their owners\n"
@@ -139,6 +143,12 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "unknown gang mode: %s\n", v);
         usage(2);
       }
+    } else if (const char* v = value("--workers=")) {
+      opt.workers = std::atoi(v);
+      if (opt.workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1, got %s\n", v);
+        usage(2);
+      }
     } else if (const char* v = value("--fanout=")) {
       opt.fanout = std::atoi(v);
     } else if (const char* v = value("--relay-threshold=")) {
@@ -175,6 +185,7 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.page_size = opt.page_size;
   cfg.seed = opt.seed;
   cfg.gang = opt.gang;
+  cfg.workers = opt.workers;
   cfg.home_migration = opt.migration;
   cfg.aggregate_flushes = opt.aggregate;
   cfg.barrier_fanout = opt.fanout;
@@ -278,8 +289,8 @@ void print_run(const Options& opt, const harness::RunResult& run,
       std::printf("    page %-6u %-16s %6u rd-faults %6u wr-faults %6u "
                   "mprotects\n",
                   page.page.value(), page.allocation.c_str(),
-                  page.stats.read_faults, page.stats.write_faults,
-                  page.stats.mprotects);
+                  page.stats.read_faults.load(), page.stats.write_faults.load(),
+                  page.stats.mprotects.load());
     }
   }
   if (opt.per_node) {
