@@ -49,6 +49,14 @@ struct BenchOptions {
   /// tree fanout (--relay-fanout=K). Checksums are bit-identical.
   int relay_threshold = 0;
   int relay_fanout = 4;
+  /// Interconnect cost profile (--net-profile=sp2|rdma) plus free-form
+  /// key=value overrides (--cost=K=V, repeatable). Stamped into every
+  /// BENCH_*.json so numbers from different platforms never get compared
+  /// silently.
+  std::string net_profile = "sp2";
+  std::vector<std::string> cost_overrides;
+  /// Sliding-window length for the adaptive protocol (--adaptive-window=W).
+  int adaptive_window = 4;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -92,6 +100,12 @@ struct BenchOptions {
         opt.relay_threshold = std::atoi(v);
       } else if (const char* v = value("--relay-fanout=")) {
         opt.relay_fanout = std::atoi(v);
+      } else if (const char* v = value("--net-profile=")) {
+        opt.net_profile = v;
+      } else if (const char* v = value("--cost=")) {
+        opt.cost_overrides.emplace_back(v);
+      } else if (const char* v = value("--adaptive-window=")) {
+        opt.adaptive_window = std::atoi(v);
       } else if (arg == "--quick") {
         opt.scale = 0.25;
         opt.iterations = 4;
@@ -99,7 +113,8 @@ struct BenchOptions {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
             "--gang=parallel|baton --workers=M --no-aggregate --fanout=K "
-            "--relay-threshold=N --relay-fanout=K --quick\n");
+            "--relay-threshold=N --relay-fanout=K --net-profile=sp2|rdma "
+            "--cost=K=V --adaptive-window=W --quick\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -128,6 +143,10 @@ struct BenchOptions {
     cfg.barrier_fanout = fanout;
     cfg.relay_threshold = relay_threshold;
     cfg.relay_fanout = relay_fanout;
+    cfg.net_profile = net_profile;
+    cfg.costs = sim::CostModel::from_profile(net_profile);
+    sim::apply_cost_overrides(cfg.costs, cost_overrides);
+    cfg.adaptive_window = adaptive_window;
     // Friendly parse-time rejection of out-of-range sizes / fanouts.
     dsm::validate_cluster_config(cfg);
     return cfg;
@@ -135,21 +154,30 @@ struct BenchOptions {
 };
 
 /// Host-execution provenance recorded uniformly in every BENCH_*.json so
-/// perf trajectories across machines and worker counts stay comparable:
-/// physical core count, the gang's *resolved* worker count, and the gang
-/// mode. Emits three `"key": value,` lines (caller is mid-object).
+/// perf trajectories across machines, worker counts and cost profiles stay
+/// comparable: physical core count, the gang's *resolved* worker count, the
+/// gang mode, the interconnect profile, and any per-key cost overrides.
+/// Emits `"key": value,` lines (caller is mid-object).
 inline void write_host_env_json(std::FILE* json, int resolved_workers,
-                                sim::GangMode mode) {
+                                sim::GangMode mode,
+                                const std::string& net_profile = "sp2",
+                                const std::vector<std::string>& overrides = {}) {
   std::fprintf(json,
                "  \"host_cores\": %u,\n  \"workers\": %d,\n"
-               "  \"gang\": \"%s\",\n",
+               "  \"gang\": \"%s\",\n  \"net_profile\": \"%s\",\n",
                std::thread::hardware_concurrency(), resolved_workers,
-               mode == sim::GangMode::Parallel ? "parallel" : "baton");
+               mode == sim::GangMode::Parallel ? "parallel" : "baton",
+               net_profile.c_str());
+  std::fprintf(json, "  \"cost_overrides\": [");
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    std::fprintf(json, "%s\"%s\"", i == 0 ? "" : ", ", overrides[i].c_str());
+  }
+  std::fprintf(json, "],\n");
 }
 
 inline void write_host_env_json(std::FILE* json, const BenchOptions& opt) {
   write_host_env_json(json, sim::Gang::resolve_workers(opt.workers, opt.nodes),
-                      opt.gang);
+                      opt.gang, opt.net_profile, opt.cost_overrides);
 }
 
 /// One cell of the experiment grid: an application under a protocol.

@@ -20,6 +20,7 @@
 #include "updsm/dsm/node_context.hpp"
 #include "updsm/harness/experiment.hpp"
 #include "updsm/mem/diff.hpp"
+#include "updsm/protocols/adaptive.hpp"
 #include "updsm/sim/cost_model.hpp"
 #include "updsm/sim/gang.hpp"
 
@@ -215,6 +216,42 @@ void BM_CostModelComposites(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelComposites);
 
+/// Host cost of one adaptive-policy page evaluation (three modeled costs
+/// plus the switch decision) -- the work the simulator charges per written
+/// page per barrier through DsmCosts::policy_eval_per_page_ns. The measured
+/// ns/eval here justifies (or indicts) that knob's default; the charged
+/// value also covers the window fold the protocol performs before calling
+/// evaluate(). Arg: 0 = sp2 profile, 1 = rdma.
+void BM_AdaptivePolicyEval(benchmark::State& state) {
+  const auto model = state.range(0) == 0
+                         ? updsm::sim::CostModel::sp2_defaults()
+                         : updsm::sim::CostModel::rdma_defaults();
+  updsm::protocols::AdaptivePolicy policy;
+  policy.costs = &model;
+  // A rotating set of realistic signals so the branch mix is honest:
+  // stencil edge page, migratory page, read-mostly page, idle page.
+  const updsm::protocols::PageSignal signals[] = {
+      {1.0, 1.0, 512.0, 1.0, 0.0, true, true},
+      {1.0, 2.0, 4096.0, 3.0, 2.0, false, true},
+      {0.25, 1.0, 128.0, 6.0, 0.5, true, true},
+      {0.05, 1.0, 64.0, 0.0, 0.0, true, false},
+  };
+  const updsm::protocols::PageMode modes[] = {
+      updsm::protocols::PageMode::Update,
+      updsm::protocols::PageMode::Invalidate,
+      updsm::protocols::PageMode::Overdrive,
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto mode = policy.evaluate(modes[i % 3], signals[i % 4]);
+    benchmark::DoNotOptimize(mode);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["charged_ns_per_eval"] = model.dsm.policy_eval_per_page_ns;
+}
+BENCHMARK(BM_AdaptivePolicyEval)->Arg(0)->Arg(1);
+
 // --- gang scheduler ---------------------------------------------------------
 
 updsm::sim::GangMode gang_mode(std::int64_t flag) {
@@ -323,13 +360,16 @@ void write_diff_summary(const char* path) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  // Uniform host-provenance keys (host_cores / workers / gang) that every
-  // BENCH_*.json carries; diff creation is single-threaded so workers is 1
-  // and no gang is involved.
+  // Uniform host-provenance keys (host_cores / workers / gang /
+  // net_profile / cost_overrides) that every BENCH_*.json carries; diff
+  // creation is single-threaded host work, so workers is 1, no gang is
+  // involved, and the simulated cost profile cannot matter -- sp2 is the
+  // recorded default.
   std::fprintf(f,
                "{\n  \"bench\": \"diff_create\",\n  \"page_bytes\": %zu,\n"
                "  \"host_cores\": %u,\n  \"workers\": 1,\n"
-               "  \"gang\": \"none\",\n  \"results\": [\n",
+               "  \"gang\": \"none\",\n  \"net_profile\": \"sp2\",\n"
+               "  \"cost_overrides\": [],\n  \"results\": [\n",
                kPage, std::thread::hardware_concurrency());
   const char* patterns[] = {"identical", "sparse", "alternating", "dense"};
   bool first = true;
@@ -390,7 +430,8 @@ void write_gang_summary(const char* path) {
                "{\n  \"bench\": \"gang_modes\",\n  \"workload\": "
                "\"sor+barnes under bar-u, scale 0.4, 4 iters\",\n"
                "  \"host_cores\": %u,\n  \"workers\": %d,\n"
-               "  \"gang\": \"sweep\",\n  \"results\": [\n",
+               "  \"gang\": \"sweep\",\n  \"net_profile\": \"sp2\",\n"
+               "  \"cost_overrides\": [],\n  \"results\": [\n",
                cores, updsm::sim::Gang::resolve_workers(0, 8));
 
   auto wall_ms = [](int nodes, GangMode mode) {

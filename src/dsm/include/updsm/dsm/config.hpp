@@ -41,8 +41,15 @@ struct ClusterConfig {
   int num_nodes = 8;
   /// Protection granularity; the paper used 8 KB on AIX (§3.2).
   std::uint32_t page_size = 8192;
-  /// Calibrated platform model (§3.2 micro-benchmarks).
+  /// Calibrated platform model (§3.2 micro-benchmarks). Authoritative --
+  /// every cost charged comes from here. `net_profile` below records which
+  /// named profile it was built from.
   sim::CostModel costs = sim::CostModel::sp2_defaults();
+  /// Named base profile `costs` was derived from ("sp2" | "rdma"), recorded
+  /// so benches can stamp provenance into BENCH_*.json. The CLIs set both:
+  /// `costs = sim::CostModel::from_profile(net_profile)` plus any --cost
+  /// overrides. Changing this string alone does NOT change the costs.
+  std::string net_profile = "sp2";
   /// Seed for all stochastic machinery (flush drops; app datasets draw from
   /// their own seeds).
   std::uint64_t seed = 0x1998'0330;
@@ -115,6 +122,11 @@ struct ClusterConfig {
   /// fully steady one: iteration 3. Overdrive engages during iteration 4.
   int overdrive_learn_iterations = 3;
   OverdriveFallback overdrive_fallback = OverdriveFallback::Strict;
+  /// Sliding-window length, in touched epochs per page, of the adaptive
+  /// protocol's history (writers, diff bytes, consumers). A page's delivery
+  /// mode is re-evaluated at each barrier it was written in, and overdrive
+  /// needs a full window of identical writer sets before it is considered.
+  int adaptive_window = 4;
   /// Test-only: bar-m scans writable-but-unpredicted pages at each barrier
   /// to *detect* silent divergence (the paper's bar-m is "not guaranteed to
   /// maintain consistency"; the audit makes that observable in tests).
@@ -161,6 +173,14 @@ inline void validate_cluster_config(const ClusterConfig& config) {
   if (config.relay_threshold < 0) {
     throw UsageError("relay_threshold must be >= 0 (0 = off), got " +
                      std::to_string(config.relay_threshold));
+  }
+  if (!sim::CostModel::known_profile(config.net_profile)) {
+    throw UsageError("unknown net profile: '" + config.net_profile +
+                     "' (valid: sp2, rdma)");
+  }
+  if (config.adaptive_window < 2 || config.adaptive_window > 64) {
+    throw UsageError("adaptive_window must be between 2 and 64, got " +
+                     std::to_string(config.adaptive_window));
   }
 }
 

@@ -93,6 +93,12 @@ struct ProtocolCounters {
   /// Dropped relay hops: each loses every segment aboard (the destination
   /// subtree heals through the usual per-record recovery).
   Cell relay_subtree_losses = 0;
+  /// Adaptive protocol: per-page delivery-mode changes applied at barrier
+  /// sequence points (invalidate <-> update <-> overdrive).
+  Cell adaptive_switches = 0;
+  /// Adaptive protocol: history samples evicted from full per-page sliding
+  /// windows (window pressure; 0 means every page's history fit).
+  Cell adaptive_window_evictions = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;
@@ -135,6 +141,8 @@ struct ProtocolCounters {
     relay_messages += o.relay_messages;
     relay_forwarded_bytes += o.relay_forwarded_bytes;
     relay_subtree_losses += o.relay_subtree_losses;
+    adaptive_switches += o.adaptive_switches;
+    adaptive_window_evictions += o.adaptive_window_evictions;
     return *this;
   }
 };

@@ -60,7 +60,7 @@ enum class BarMode {
   return "?";
 }
 
-class BarProtocol final : public dsm::CoherenceProtocol {
+class BarProtocol : public dsm::CoherenceProtocol {
  public:
   explicit BarProtocol(BarMode mode) : mode_(mode) {}
 
@@ -106,11 +106,41 @@ class BarProtocol final : public dsm::CoherenceProtocol {
   [[nodiscard]] std::uint64_t overdrive_period() const { return od_period_; }
   [[nodiscard]] bool migration_done() const { return migration_done_; }
 
- private:
+ protected:
   [[nodiscard]] bool update_mode() const { return mode_ != BarMode::Invalidate; }
   [[nodiscard]] bool overdrive_capable() const {
     return mode_ == BarMode::OverdriveS || mode_ == BarMode::OverdriveM;
   }
+
+  // ---- per-page policy hooks (AdaptiveProtocol overrides) ----------------
+  // The fixed protocols apply one delivery mode to every page; the adaptive
+  // subclass answers per page. Hook answers may only depend on
+  // barrier-frozen state (modes switch at barrier_finish, when every node
+  // is parked), so mid-phase callers see one consistent value per epoch.
+
+  /// Do this page's writers push diffs to the copyset at the barrier
+  /// (bar-u behaviour) rather than relying on invalidation (bar-i)?
+  [[nodiscard]] virtual bool page_pushes_updates(PageId) const {
+    return update_mode();
+  }
+  /// Keep this page's twinned replicas write-enabled across barriers
+  /// (overdrive delivery: the permanent twin is diffed at *every* barrier,
+  /// so untrapped writes are still captured)? Orthogonal to bar-m's global
+  /// `od_active_` machinery, which keeps its own predicted-epoch logic.
+  [[nodiscard]] virtual bool page_keep_writable(PageId) const {
+    return false;
+  }
+  /// A non-empty diff of `bytes` payload was created at barrier arrival
+  /// (controller context, node order -- plain state is safe).
+  virtual void observe_diff(NodeId, PageId, std::uint64_t /*bytes*/) {}
+  /// A whole-page fetch was served (MID-PHASE: may run concurrently under
+  /// the parallel gang -- implementations must use commutative updates).
+  virtual void observe_fetch(NodeId, PageId) {}
+  /// barrier_master visits a written page (sorted page order, controller
+  /// context), before its per-epoch scratch is cleared. `writers` includes
+  /// the home when it wrote.
+  virtual void observe_epoch_page(PageId, const dsm::NodeSet& /*writers*/,
+                                  bool /*home_wrote*/) {}
 
   struct QueuedDiff {
     NodeId creator;

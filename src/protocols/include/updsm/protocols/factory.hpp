@@ -17,6 +17,7 @@ enum class ProtocolKind {
   BarU,  // home-based barrier protocol, update
   BarS,  // bar-u + overdrive without segvs
   BarM,  // bar-s + no mprotects in overdrive
+  Adaptive,  // per-page invalidate/update/overdrive under the active costs
   ScSw,  // sequentially consistent single-writer (extra baseline)
   Null,  // the 1-node sequential baseline
 };
@@ -34,5 +35,9 @@ enum class ProtocolKind {
 
 /// The six measured protocols (Table 1 + Figure 4), in presentation order.
 [[nodiscard]] std::vector<ProtocolKind> all_paper_protocols();
+
+/// The six fixed paper protocols plus the adaptive per-page selector
+/// (bench/ablation_profiles' grid).
+[[nodiscard]] std::vector<ProtocolKind> all_protocols_with_adaptive();
 
 }  // namespace updsm::protocols

@@ -110,6 +110,7 @@ void BarProtocol::fetch_page(NodeId n, PageId page, bool count_as_miss) {
   // barrier_master from the merged fetch logs -- the `untracked` flag is
   // written by the home's thread mid-phase and must not be read here.
   node(n).fetched_log.push_back(page);
+  observe_fetch(n, page);
 }
 
 void BarProtocol::note_dirty(NodeId n, PageId page) {
@@ -224,7 +225,8 @@ void BarProtocol::write_fault(NodeId n, PageId page) {
   }
   // The home effect: the home's own writes need no diff -- unless it must
   // push updates to consumers, which requires knowing the modified bytes.
-  const bool need_twin = n != home || (update_mode() && consumers > 0);
+  const bool need_twin =
+      n != home || (page_pushes_updates(page) && consumers > 0);
   if (n == home) {
     // The home's twin/snapshot installation and frame write-enable must be
     // atomic with respect to concurrent fetch_page copies (see there).
@@ -295,6 +297,15 @@ void BarProtocol::barrier_arrive(NodeId n) {
                   [&](PageId page) { return !st.twins.has(page); });
   } else {
     to_diff = st.twins.pages_sorted();
+    // Phase-parked pages (adaptive overdrive: read-protected with a
+    // retained, synced twin) cannot have been written since the twin last
+    // absorbed the frame -- a write would have trapped and re-armed them.
+    // Skipping the scan is the whole point of parking. Fixed protocols
+    // never hold a twin on a non-writable page, so this erases nothing
+    // for them.
+    std::erase_if(to_diff, [&](PageId page) {
+      return rt_->table(n).prot(page) != Protect::ReadWrite;
+    });
   }
 
   for (const PageId page : to_diff) {
@@ -306,12 +317,17 @@ void BarProtocol::barrier_arrive(NodeId n) {
     ++rt_->counters().diffs_created;
 
     // Protection re-arming: bar-i/bar-u/bar-s write-protect after diffing;
-    // bar-m in overdrive never touches protections. Its permanent twin is
-    // re-snapshotted now so the next diff (and the divergence audit) sees
-    // this epoch's writes as committed.
-    if (od_m_active) {
-      st.twins.refresh(page, rt_->table(n).frame(page));
-      rt_->charge_dsm(n, 0, dsm_costs.copy_per_byte_ns, rt_->page_size());
+    // bar-m in overdrive never touches protections, and the adaptive
+    // protocol keeps its armed overdrive pages writable the same way.
+    // The surviving twin is re-snapshotted now so the next diff (and the
+    // divergence audit) sees this epoch's writes as committed -- except
+    // that an adaptive page whose scan came back clean needs no refresh
+    // (the twin already equals the frame).
+    if (od_m_active || page_keep_writable(page)) {
+      if (od_m_active || !diff.empty()) {
+        st.twins.refresh(page, rt_->table(n).frame(page));
+        rt_->charge_dsm(n, 0, dsm_costs.copy_per_byte_ns, rt_->page_size());
+      }
     } else {
       st.twins.discard(page);
       rt_->mprotect(n, page, Protect::Read);
@@ -326,6 +342,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
     }
     // A real modification exists: this node is a writer of the page.
     note_writer(n, page);
+    observe_diff(n, page, diff.payload_bytes());
 
     if (n != gp.home) {
       // Flush the diff to the home: reliable (rides the barrier channel).
@@ -336,7 +353,7 @@ void BarProtocol::barrier_arrive(NodeId n) {
       gp.home_wrote = true;
     }
 
-    if (update_mode()) {
+    if (page_pushes_updates(page)) {
       // Push to consumers. The home receives the diff via the reliable
       // flush above (when we are not the home); everyone else in the
       // copyset gets an unreliable update push. The inbox entry is built
@@ -443,6 +460,7 @@ void BarProtocol::barrier_master() {
       }
     }
 
+    observe_epoch_page(page, gp.writers_epoch, gp.home_wrote);
     epoch_changes_.push_back(ChangeRecord{page, gp.version, new_version,
                                           gp.writers_epoch});
     gp.version = new_version;
@@ -719,11 +737,12 @@ void BarProtocol::barrier_release(NodeId n) {
                               << rec.prev_version << " writers "
                               << rec.writers.count() << " got "
                               << got.count());
-      if (update_mode() && current && !got.contains_all(need)) {
-        // Update protocol, current copy, missing diffs: this invalidation
+      if (page_pushes_updates(page) && current && !got.contains_all(need)) {
+        // Update delivery, current copy, missing diffs: this invalidation
         // would not have happened had every update push arrived -- pure
         // recovery from a lost flush (the degradation the fault benches
-        // measure). bar-i never pushes, so it never counts here.
+        // measure). Pages that never push (bar-i; adaptive pages in
+        // invalidate mode) never count here.
         ++rt_->counters().recovery_faults;
       }
       if (!got.empty()) ++rt_->counters().updates_ignored;

@@ -2,6 +2,7 @@
 
 #include "updsm/common/error.hpp"
 #include "updsm/dsm/null_protocol.hpp"
+#include "updsm/protocols/adaptive.hpp"
 #include "updsm/protocols/bar.hpp"
 #include "updsm/protocols/lmw.hpp"
 #include "updsm/protocols/sc_sw.hpp"
@@ -22,6 +23,8 @@ const char* to_string(ProtocolKind kind) {
       return "bar-s";
     case ProtocolKind::BarM:
       return "bar-m";
+    case ProtocolKind::Adaptive:
+      return "adaptive";
     case ProtocolKind::ScSw:
       return "sc-sw";
     case ProtocolKind::Null:
@@ -37,6 +40,7 @@ ProtocolKind protocol_from_string(std::string_view name) {
   if (name == "bar-u") return ProtocolKind::BarU;
   if (name == "bar-s") return ProtocolKind::BarS;
   if (name == "bar-m") return ProtocolKind::BarM;
+  if (name == "adaptive") return ProtocolKind::Adaptive;
   if (name == "sc-sw") return ProtocolKind::ScSw;
   if (name == "null") return ProtocolKind::Null;
   throw UsageError("unknown protocol name: " + std::string(name));
@@ -56,6 +60,8 @@ std::unique_ptr<dsm::CoherenceProtocol> make_protocol(ProtocolKind kind) {
       return std::make_unique<BarProtocol>(BarMode::OverdriveS);
     case ProtocolKind::BarM:
       return std::make_unique<BarProtocol>(BarMode::OverdriveM);
+    case ProtocolKind::Adaptive:
+      return std::make_unique<AdaptiveProtocol>();
     case ProtocolKind::ScSw:
       return std::make_unique<ScSwProtocol>();
     case ProtocolKind::Null:
@@ -72,6 +78,12 @@ std::vector<ProtocolKind> base_protocols() {
 std::vector<ProtocolKind> all_paper_protocols() {
   return {ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarI,
           ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM};
+}
+
+std::vector<ProtocolKind> all_protocols_with_adaptive() {
+  std::vector<ProtocolKind> kinds = all_paper_protocols();
+  kinds.push_back(ProtocolKind::Adaptive);
+  return kinds;
 }
 
 }  // namespace updsm::protocols

@@ -9,9 +9,21 @@
 //
 // Every number is a plain struct field so ablation benches can perturb one
 // knob at a time (e.g. bench/ablation_os_stress zeroes the stress regime).
+//
+// A second calibration, `rdma_defaults()`, models a modern kernel-bypass
+// interconnect (user-level DSM over RDMA-class NICs): ~1 us one-sided
+// messages, ~10 GB/s streaming, near-zero send/recv traps. The OS and DSM
+// knobs deliberately stay at the SP-2 values -- the profile swaps the
+// *interconnect*, so the 1998 conclusions that depend on the per-message /
+// per-byte ratio can be re-examined in isolation. Profiles are named
+// (`--net-profile=sp2|rdma` on every CLI) and individual fields can be
+// perturbed with `--cost key=value` overrides (see cost_key_list()).
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "updsm/sim/time.hpp"
 
@@ -86,6 +98,12 @@ struct DsmCosts {
   double update_store_per_byte_ns = 6.0;
   /// Barrier master bookkeeping per arriving node.
   SimTime barrier_master_per_node = usec(8);
+  /// Per-page cost of the adaptive protocol's barrier-time policy
+  /// evaluation (window fold + three modeled delivery costs). Charged to
+  /// the barrier master for every page re-evaluated, so the predictor
+  /// bookkeeping is priced, not free; calibrated against
+  /// bench/micro_primitives BM_AdaptivePolicyEval.
+  double policy_eval_per_page_ns = 200.0;
 };
 
 /// Application computation costs: a 66 MHz POWER2 sustains very roughly one
@@ -104,6 +122,24 @@ struct CostModel {
 
   [[nodiscard]] static CostModel sp2_defaults() { return CostModel{}; }
 
+  /// Kernel-bypass interconnect: ~1.2 us one-sided put/get, 10 GB/s
+  /// streaming (0.1 ns/B), ~150 ns doorbell/poll instead of syscall traps.
+  /// OS (VM) and DSM (protocol software) costs keep their SP-2 values.
+  [[nodiscard]] static CostModel rdma_defaults();
+
+  /// Named profile lookup ("sp2" | "rdma"); throws UsageError otherwise.
+  [[nodiscard]] static CostModel from_profile(std::string_view profile);
+  [[nodiscard]] static bool known_profile(std::string_view profile);
+
+  /// Applies one "--cost key=value" override, e.g. "net.per_message_us=45".
+  /// Time-valued keys end in _us (microseconds), rate-valued keys in _ns
+  /// (nanoseconds per byte / per unit). Throws UsageError listing the valid
+  /// keys on an unknown key or a malformed spec.
+  void apply_override(std::string_view spec);
+
+  /// All valid override keys, for --help text and error messages.
+  [[nodiscard]] static const std::vector<std::string>& cost_key_list();
+
   /// The paper's "simple RPC" microbenchmark: empty request, empty reply.
   /// send_trap + wire + recv_trap + handler + send_trap + wire + recv_trap.
   [[nodiscard]] SimTime rpc_roundtrip() const {
@@ -111,6 +147,25 @@ struct CostModel {
            dsm.handler_fixed + net.send_trap + net.wire_time(0) +
            net.recv_trap;
   }
+
+  /// Composite remote-page-fault cost for a page of `page_bytes`: the §3.2
+  /// "remote page fault" microbenchmark, mirroring the simulator's actual
+  /// charging path (segv dispatch, 16-byte request / page+32 reply
+  /// roundtrip with a serve-side page copy, install copy, re-protect, and
+  /// the kernel page-in bookkeeping). ~939 us for 8 KB under sp2 defaults.
+  [[nodiscard]] SimTime remote_page_fault(std::uint32_t page_bytes) const {
+    const SimTime serve_copy = static_cast<SimTime>(
+        dsm.copy_per_byte_ns * static_cast<double>(page_bytes));
+    const SimTime service = net.recv_trap + dsm.handler_fixed + serve_copy +
+                            net.send_trap;
+    return os.segv + net.send_trap + net.wire_time(16) + service +
+           net.wire_time(page_bytes + 32) + net.recv_trap + serve_copy +
+           os.fault_service_extra + os.mprotect_base;
+  }
 };
+
+/// Applies a list of "key=value" specs in order (the repeatable --cost flag).
+void apply_cost_overrides(CostModel& model,
+                          const std::vector<std::string>& overrides);
 
 }  // namespace updsm::sim

@@ -1,0 +1,203 @@
+// Adaptive-protocol conformance: per-page mode switching must change WHEN
+// pages are delivered, never WHAT is computed, and the whole decision
+// pipeline (window samples -> signals -> modeled costs -> barrier-time
+// switches) must be a pure function of workload + config. This drives the
+// adaptive protocol on a regular stencil (jacobi) and an irregular mesh
+// (tomcat), under both cost profiles, across gang modes, worker counts and
+// a battery of seeded random fault plans, and requires every run to be
+// bit-identical on every observable -- data, virtual time, and the adaptive
+// counters themselves.
+//
+// Plan count defaults to 10; UPDSM_ADAPTIVE_PLANS=<n> shrinks (or grows)
+// the battery, which CI uses to keep the sanitizer job inside its budget.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "updsm/harness/experiment.hpp"
+#include "updsm/sim/cost_model.hpp"
+
+namespace updsm {
+namespace {
+
+using protocols::ProtocolKind;
+using sim::GangMode;
+
+constexpr const char* kApps[] = {"jacobi", "tomcat"};
+constexpr const char* kProfiles[] = {"sp2", "rdma"};
+
+int plan_count() {
+  if (const char* env = std::getenv("UPDSM_ADAPTIVE_PLANS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10;
+}
+
+/// Deterministic fault-plan battery, a pure function of i (same shape as
+/// fault_conformance_test's: broad loss, loss+dup+delay, kind-targeted,
+/// asymmetric + stalls).
+std::string make_plan(int i) {
+  const int pct = 2 + (i * 7) % 12;  // 2..13 percent
+  const std::string p = "0.0" + std::to_string(pct);
+  switch (i % 4) {
+    case 0:
+      return "drop=" + p;
+    case 1:
+      return "drop=" + p + ",dup=0.05,delay=0.05,delay_us=200";
+    case 2:
+      return "kind=flush,drop=0.2;drop=0.02";
+    default:
+      return "from=0,to=1,drop=0.25;node=1,stall=0.2,stall_us=300;drop=" + p;
+  }
+}
+
+struct RunSpec {
+  const char* app = "jacobi";
+  const char* profile = "sp2";
+  GangMode gang = GangMode::Parallel;
+  int workers = 0;
+  std::string plan;
+  std::uint64_t fault_seed = 0;
+};
+
+harness::RunResult run_one(const RunSpec& spec) {
+  apps::AppParams params;
+  params.scale = 0.1;
+  // One warmup iteration only: mode switches land a few epochs after the
+  // window fills, and the measured counters must SEE them (the acceptance
+  // bench reports adaptive_switches from the same window).
+  params.warmup_iterations = 1;
+  params.measured_iterations = 6;
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.gang = spec.gang;
+  cfg.workers = spec.workers;
+  cfg.net_profile = spec.profile;
+  cfg.costs = sim::CostModel::from_profile(spec.profile);
+  cfg.adaptive_window = 3;
+  if (!spec.plan.empty()) {
+    cfg.faults = sim::FaultSpec::parse(spec.plan);
+    cfg.fault_seed = spec.fault_seed;
+  }
+  return harness::run_app(spec.app, ProtocolKind::Adaptive, cfg, params);
+}
+
+void expect_identical(const harness::RunResult& a, const harness::RunResult& b,
+                      const std::string& ctx) {
+  EXPECT_EQ(a.checksum, b.checksum) << ctx;
+  EXPECT_EQ(a.elapsed, b.elapsed) << ctx;
+  EXPECT_EQ(a.barriers, b.barriers) << ctx;
+  EXPECT_EQ(a.net.total_bytes(), b.net.total_bytes()) << ctx;
+  EXPECT_EQ(a.counters.adaptive_switches.load(),
+            b.counters.adaptive_switches.load())
+      << ctx;
+  EXPECT_EQ(a.counters.adaptive_window_evictions.load(),
+            b.counters.adaptive_window_evictions.load())
+      << ctx;
+  EXPECT_EQ(a.counters.diffs_created.load(), b.counters.diffs_created.load())
+      << ctx;
+  EXPECT_EQ(a.counters.updates_applied.load(),
+            b.counters.updates_applied.load())
+      << ctx;
+}
+
+// The protocol actually adapts in the measured window on both apps and
+// both profiles -- a silent all-update run would vacuously pass the
+// determinism checks below.
+TEST(AdaptiveConformanceTest, SwitchesHappenInTheMeasuredWindow) {
+  for (const char* app : kApps) {
+    for (const char* profile : kProfiles) {
+      RunSpec spec;
+      spec.app = app;
+      spec.profile = profile;
+      const harness::RunResult r = run_one(spec);
+      EXPECT_GT(r.counters.adaptive_switches.load(), 0u)
+          << app << " on " << profile;
+    }
+  }
+}
+
+// Bit-identical across gang modes and every worker count, on both
+// profiles: the mode-switch pipeline adds no schedule dependence.
+TEST(AdaptiveConformanceTest, SchedulesAgree) {
+  for (const char* app : kApps) {
+    for (const char* profile : kProfiles) {
+      RunSpec base;
+      base.app = app;
+      base.profile = profile;
+      base.gang = GangMode::Baton;
+      base.workers = 1;
+      const harness::RunResult baton1 = run_one(base);
+      for (const GangMode gang : {GangMode::Baton, GangMode::Parallel}) {
+        for (const int workers : {1, 2, 4, 16}) {
+          RunSpec spec = base;
+          spec.gang = gang;
+          spec.workers = workers;
+          const harness::RunResult r = run_one(spec);
+          expect_identical(baton1, r,
+                           std::string(app) + " on " + profile + " gang " +
+                               (gang == GangMode::Baton ? "baton" : "parallel") +
+                               " workers " + std::to_string(workers));
+        }
+      }
+    }
+  }
+}
+
+// Under every seeded fault plan the data matches the fault-free baseline
+// bit for bit, and the decision pipeline itself is schedule-independent:
+// both gang modes agree on every observable including the switch counters.
+TEST(AdaptiveConformanceTest, FaultPlansNeverChangeData) {
+  const int plans = plan_count();
+  for (const char* app : kApps) {
+    for (const char* profile : kProfiles) {
+      RunSpec base;
+      base.app = app;
+      base.profile = profile;
+      const harness::RunResult clean = run_one(base);
+      ASSERT_NE(clean.checksum, 0.0) << app;
+      for (int i = 0; i < plans; ++i) {
+        RunSpec spec = base;
+        spec.plan = make_plan(i);
+        spec.fault_seed = 2000u + static_cast<std::uint64_t>(i);
+        const std::string ctx = std::string(app) + " on " + profile +
+                                " plan " + std::to_string(i) + " [" +
+                                spec.plan + "]";
+        const harness::RunResult faulty = run_one(spec);
+        EXPECT_EQ(faulty.checksum, clean.checksum) << ctx;
+        EXPECT_EQ(faulty.barriers, clean.barriers) << ctx;
+
+        RunSpec other = spec;
+        other.gang = GangMode::Baton;
+        other.workers = 1;
+        expect_identical(faulty, run_one(other), ctx + " (gang cross-check)");
+      }
+    }
+  }
+}
+
+// The window length is part of the configuration, not a tuning accident:
+// different windows may pick different modes (and different virtual
+// times), but each is individually bit-exact on the data.
+TEST(AdaptiveConformanceTest, WindowLengthNeverChangesData) {
+  RunSpec base;
+  const harness::RunResult r3 = run_one(base);
+  for (const int window : {2, 6, 12}) {
+    apps::AppParams params;
+    params.scale = 0.1;
+    params.warmup_iterations = 1;
+    params.measured_iterations = 6;
+    dsm::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.adaptive_window = window;
+    const harness::RunResult r =
+        harness::run_app("jacobi", ProtocolKind::Adaptive, cfg, params);
+    EXPECT_EQ(r.checksum, r3.checksum) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace updsm

@@ -1,0 +1,228 @@
+// Pins the cost-profile layer: the sp2 composites stay calibrated against
+// the paper's §3.2 micro-benchmarks, the rdma profile actually models a
+// kernel-bypass interconnect, and the --net-profile / --cost plumbing
+// (from_profile, apply_override) round-trips with friendly errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "updsm/common/error.hpp"
+#include "updsm/dsm/config.hpp"
+#include "updsm/protocols/adaptive.hpp"
+#include "updsm/sim/cost_model.hpp"
+
+namespace updsm::sim {
+namespace {
+
+// --- sp2 calibration (paper Table / §3.2) ----------------------------------
+
+TEST(CostModelTest, Sp2RpcRoundtripMatchesPaper) {
+  const CostModel m = CostModel::sp2_defaults();
+  // "simple RPC round trip: 160 us", +-3% calibration tolerance.
+  const double us = to_usec(m.rpc_roundtrip());
+  EXPECT_GE(us, 160.0 * 0.97) << us;
+  EXPECT_LE(us, 160.0 * 1.03) << us;
+}
+
+TEST(CostModelTest, Sp2RemotePageFaultMatchesPaper) {
+  const CostModel m = CostModel::sp2_defaults();
+  // "remote page fault (8 KB page): 939 us", +-3%.
+  const double us = to_usec(m.remote_page_fault(8192));
+  EXPECT_GE(us, 939.0 * 0.97) << us;
+  EXPECT_LE(us, 939.0 * 1.03) << us;
+}
+
+TEST(CostModelTest, Sp2PrimitiveCalibration) {
+  const CostModel m = CostModel::sp2_defaults();
+  EXPECT_EQ(m.os.segv, usec(128));
+  EXPECT_EQ(m.os.mprotect_base, usec(12));
+  EXPECT_EQ(m.net.per_message, usec(45));
+  EXPECT_DOUBLE_EQ(m.net.per_byte_ns, 25.0);  // 40 MB/s
+}
+
+// --- rdma sanity ------------------------------------------------------------
+
+TEST(CostModelTest, RdmaIsAKernelBypassInterconnect) {
+  const CostModel sp2 = CostModel::sp2_defaults();
+  const CostModel rdma = CostModel::rdma_defaults();
+  // One-sided ops land in the low microseconds, not the hundreds.
+  EXPECT_LT(to_usec(rdma.rpc_roundtrip()), 20.0);
+  EXPECT_LT(rdma.remote_page_fault(8192), sp2.remote_page_fault(8192));
+  // Per-message cost collapses by orders of magnitude; bandwidth is
+  // GB/s-class (per-byte cost far below the 25 ns/B link).
+  EXPECT_LT(to_usec(rdma.net.per_message), 2.0);
+  EXPECT_LT(rdma.net.per_byte_ns, 1.0);
+  EXPECT_LT(rdma.net.send_trap, sp2.net.send_trap);
+  // The profile swaps the interconnect only: OS and DSM stay SP-2.
+  EXPECT_EQ(rdma.os.segv, sp2.os.segv);
+  EXPECT_EQ(rdma.os.mprotect_base, sp2.os.mprotect_base);
+  EXPECT_DOUBLE_EQ(rdma.dsm.diff_create_per_byte_ns,
+                   sp2.dsm.diff_create_per_byte_ns);
+}
+
+// --- profile lookup ---------------------------------------------------------
+
+TEST(CostModelTest, FromProfileRoundTrips) {
+  EXPECT_TRUE(CostModel::known_profile("sp2"));
+  EXPECT_TRUE(CostModel::known_profile("rdma"));
+  EXPECT_FALSE(CostModel::known_profile("myrinet"));
+  EXPECT_EQ(CostModel::from_profile("sp2").net.per_message,
+            CostModel::sp2_defaults().net.per_message);
+  EXPECT_EQ(CostModel::from_profile("rdma").net.per_message,
+            CostModel::rdma_defaults().net.per_message);
+  try {
+    (void)CostModel::from_profile("myrinet");
+    FAIL() << "unknown profile accepted";
+  } catch (const UsageError& e) {
+    // The error names the valid profiles, not just "bad input".
+    EXPECT_NE(std::string(e.what()).find("sp2"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- overrides --------------------------------------------------------------
+
+TEST(CostModelTest, ApplyOverrideSetsEachKindOfKey) {
+  CostModel m = CostModel::sp2_defaults();
+  m.apply_override("net.per_message_us=5");
+  EXPECT_EQ(m.net.per_message, usec(5));
+  m.apply_override("net.per_byte_ns=0.5");
+  EXPECT_DOUBLE_EQ(m.net.per_byte_ns, 0.5);
+  m.apply_override("os.segv_us=1");
+  EXPECT_EQ(m.os.segv, usec(1));
+  m.apply_override("dsm.policy_eval_per_page_ns=50");
+  EXPECT_DOUBLE_EQ(m.dsm.policy_eval_per_page_ns, 50.0);
+}
+
+TEST(CostModelTest, ApplyOverridesComposeInOrder) {
+  CostModel m = CostModel::rdma_defaults();
+  apply_cost_overrides(m, {"os.mprotect_us=3", "os.mprotect_us=7"});
+  EXPECT_EQ(m.os.mprotect_base, usec(7));
+}
+
+TEST(CostModelTest, UnknownKeyListsTheValidOnes) {
+  CostModel m = CostModel::sp2_defaults();
+  try {
+    m.apply_override("net.bogus_us=1");
+    FAIL() << "unknown key accepted";
+  } catch (const UsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("net.per_message_us"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(m.apply_override("no-equals-sign"), UsageError);
+  EXPECT_THROW(m.apply_override("net.per_message_us=abc"), UsageError);
+  EXPECT_THROW(m.apply_override("=5"), UsageError);
+}
+
+TEST(CostModelTest, CostKeyListCoversEveryOverride) {
+  CostModel m = CostModel::sp2_defaults();
+  for (const std::string& key : CostModel::cost_key_list()) {
+    EXPECT_NO_THROW(m.apply_override(key + "=1")) << key;
+  }
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(CostModelTest, ClusterConfigRejectsUnknownProfile) {
+  dsm::ClusterConfig cfg;
+  cfg.net_profile = "token-ring";
+  EXPECT_THROW(dsm::validate_cluster_config(cfg), UsageError);
+}
+
+TEST(CostModelTest, ClusterConfigRejectsBadAdaptiveWindow) {
+  dsm::ClusterConfig cfg;
+  cfg.adaptive_window = 1;
+  EXPECT_THROW(dsm::validate_cluster_config(cfg), UsageError);
+  cfg.adaptive_window = 65;
+  EXPECT_THROW(dsm::validate_cluster_config(cfg), UsageError);
+  cfg.adaptive_window = 4;
+  EXPECT_NO_THROW(dsm::validate_cluster_config(cfg));
+}
+
+// --- the adaptive policy under both profiles --------------------------------
+
+using protocols::AdaptivePolicy;
+using protocols::PageMode;
+using protocols::PageSignal;
+
+PageSignal stencil_edge_page() {
+  PageSignal s;
+  s.write_rate = 1.0;
+  s.writers_avg = 2.0;
+  s.diff_bytes_avg = 4096.0;
+  s.consumers_avg = 2.0;
+  s.fetches_avg = 0.0;
+  s.stable_writers = true;
+  s.window_full = true;
+  return s;
+}
+
+TEST(AdaptivePolicyTest, StableHotPageGoesOverdriveOnSp2) {
+  const CostModel m = CostModel::sp2_defaults();
+  AdaptivePolicy policy;
+  policy.costs = &m;
+  // A stable co-written stencil page: dropping the 128 us segv (plus the
+  // protection flips) per writer per epoch beats everything else on sp2.
+  EXPECT_EQ(policy.evaluate(PageMode::Update, stencil_edge_page()),
+            PageMode::Overdrive);
+}
+
+TEST(AdaptivePolicyTest, UnstableWritersNeverEnterOverdrive) {
+  const CostModel m = CostModel::sp2_defaults();
+  AdaptivePolicy policy;
+  policy.costs = &m;
+  PageSignal s = stencil_edge_page();
+  s.stable_writers = false;
+  EXPECT_NE(policy.evaluate(PageMode::Update, s), PageMode::Overdrive);
+  s = stencil_edge_page();
+  s.window_full = false;
+  EXPECT_NE(policy.evaluate(PageMode::Update, s), PageMode::Overdrive);
+}
+
+TEST(AdaptivePolicyTest, ManyIdleConsumersFavorInvalidateOnSp2) {
+  const CostModel m = CostModel::sp2_defaults();
+  AdaptivePolicy policy;
+  policy.costs = &m;
+  // A page pushed to many replica holders that almost never re-read it:
+  // pushes charge every consumer each epoch, invalidation only charges the
+  // rare actual readers (observed fetches stay near zero).
+  PageSignal s;
+  s.write_rate = 1.0;
+  s.writers_avg = 1.0;
+  s.diff_bytes_avg = 8192.0;
+  s.consumers_avg = 6.0;
+  s.fetches_avg = 0.1;
+  s.stable_writers = false;
+  s.window_full = true;
+  const PageMode from_inv = policy.evaluate(PageMode::Invalidate, s);
+  EXPECT_EQ(from_inv, PageMode::Invalidate);
+}
+
+TEST(AdaptivePolicyTest, HysteresisHoldsBorderlinePages) {
+  const CostModel m = CostModel::sp2_defaults();
+  AdaptivePolicy policy;
+  policy.costs = &m;
+  PageSignal s = stencil_edge_page();
+  // A mode only switches if the challenger undercuts the incumbent by the
+  // hysteresis margin; an exact tie must stay put.
+  policy.hysteresis = 1e-9;  // challenger can essentially never win
+  EXPECT_EQ(policy.evaluate(PageMode::Update, s), PageMode::Update);
+}
+
+TEST(AdaptivePolicyTest, ModeledCostsArePositiveAndFinite) {
+  for (const char* profile : {"sp2", "rdma"}) {
+    const CostModel m = CostModel::from_profile(profile);
+    AdaptivePolicy policy;
+    policy.costs = &m;
+    const PageSignal s = stencil_edge_page();
+    for (const PageMode mode : {PageMode::Invalidate, PageMode::Update,
+                                PageMode::Overdrive}) {
+      const double c = policy.modeled_cost(mode, PageMode::Update, s);
+      EXPECT_GT(c, 0.0) << profile;
+      EXPECT_TRUE(std::isfinite(c)) << profile;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updsm::sim

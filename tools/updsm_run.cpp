@@ -22,6 +22,7 @@
 #include "updsm/harness/experiment.hpp"
 #include "updsm/harness/report.hpp"
 #include "updsm/mem/shared_heap.hpp"
+#include "updsm/sim/cost_model.hpp"
 
 namespace {
 
@@ -35,6 +36,9 @@ struct Options {
   int warmup = 5;
   int iters = 10;
   std::uint32_t page_size = 8192;
+  std::string net_profile = "sp2";
+  std::vector<std::string> cost_overrides;
+  int adaptive_window = 4;
   double drop_rate = 0.0;
   std::string faults;  // fault-spec text or a file containing one
   std::uint64_t fault_seed = 0;
@@ -58,12 +62,21 @@ struct Options {
       "updsm_run -- run one paper workload under one coherence protocol\n"
       "\n"
       "  --app=NAME        barnes|expl|fft|jacobi|shal|sor|swm|tomcat\n"
-      "  --protocol=NAME   lmw-i|lmw-u|bar-i|bar-u|bar-s|bar-m|sc-sw|all\n"
+      "  --protocol=NAME   lmw-i|lmw-u|bar-i|bar-u|bar-s|bar-m|adaptive|\n"
+      "                    sc-sw|all (all = the paper's fixed protocols)\n"
       "  --nodes=N         cluster size (default 8)\n"
       "  --scale=F         linear problem-size factor (default 1.0)\n"
       "  --warmup=N        unmeasured time-steps (default 5)\n"
       "  --iters=N         measured time-steps (default 10)\n"
       "  --page-size=B     protection granularity (default 8192)\n"
+      "  --net-profile=P   interconnect cost profile: sp2 (1998 SP-2 over\n"
+      "                    UDP, the paper's Table 2) or rdma (kernel-bypass\n"
+      "                    NIC: ~1us one-sided ops, ~10 GB/s)\n"
+      "  --cost=K=V        override one cost-model key on top of the\n"
+      "                    profile (repeatable); e.g. --cost=net.per_message_us=5\n"
+      "                    (pass an unknown key to list the valid ones)\n"
+      "  --adaptive-window=W  sliding-window length (written epochs) for\n"
+      "                    --protocol=adaptive (default 4)\n"
       "  --drop-rate=F     fraction of update flushes dropped (default 0)\n"
       "  --faults=SPEC     fault-injection plan (inline spec or a file);\n"
       "                    e.g. 'drop=0.1' or 'kind=flush,to=2,drop=0.5'\n"
@@ -125,6 +138,12 @@ Options parse(int argc, char** argv) {
       opt.iters = std::atoi(v);
     } else if (const char* v = value("--page-size=")) {
       opt.page_size = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--net-profile=")) {
+      opt.net_profile = v;
+    } else if (const char* v = value("--cost=")) {
+      opt.cost_overrides.emplace_back(v);
+    } else if (const char* v = value("--adaptive-window=")) {
+      opt.adaptive_window = std::atoi(v);
     } else if (const char* v = value("--drop-rate=")) {
       opt.drop_rate = std::atof(v);
     } else if (const char* v = value("--faults=")) {
@@ -191,6 +210,12 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.barrier_fanout = opt.fanout;
   cfg.relay_threshold = opt.relay_threshold;
   cfg.relay_fanout = opt.relay_fanout;
+  // Profile first, overrides second, then the local knobs that also live in
+  // the cost model -- so --drop-rate composes with either profile.
+  cfg.net_profile = opt.net_profile;
+  cfg.costs = sim::CostModel::from_profile(opt.net_profile);
+  sim::apply_cost_overrides(cfg.costs, opt.cost_overrides);
+  cfg.adaptive_window = opt.adaptive_window;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
   if (!opt.faults.empty()) {
     cfg.faults = sim::FaultSpec::parse(load_fault_spec(opt.faults));
