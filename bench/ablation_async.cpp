@@ -1,0 +1,249 @@
+// X8: barrier-free asynchronous iteration vs barrier-synchronous execution
+// under progressively nastier transports. Runs both async-capable stencils
+// (jacobi-async, sor-async) to CONVERGENCE in four execution modes -- the
+// home-based barrier protocols bar-u / bar-i under the synchronous gang,
+// and the stale-tolerant async-u / async-i under --gang=async -- across
+// four fault severities (none, light loss, a hard per-step straggler, and
+// churn: batch-targeted loss + dups + delays). Every cell must converge to
+// the solver tolerance; the summary reports where asynchrony wins, which
+// by the paper's argument should be exactly the straggler columns (a
+// barrier run pays every stall at every barrier; an async run lets the
+// straggler fall behind and heals with stale-tolerant reads).
+// Emits BENCH_async.json for perf-trajectory tracking.
+//
+// Deterministic by construction: virtual-time results depend only on
+// (workload, config, --fault-seed), never on --jobs or --workers or wall
+// clock; the bench_async_determinism ctest pins byte-identical output.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace updsm;
+
+struct Mode {
+  const char* label;       // column label
+  protocols::ProtocolKind kind;
+  sim::GangMode gang;
+};
+
+constexpr Mode kModes[] = {
+    {"bar-u/sync", protocols::ProtocolKind::BarU, sim::GangMode::Parallel},
+    {"bar-i/sync", protocols::ProtocolKind::BarI, sim::GangMode::Parallel},
+    {"async-u", protocols::ProtocolKind::AsyncU, sim::GangMode::Async},
+    {"async-i", protocols::ProtocolKind::AsyncI, sim::GangMode::Async},
+};
+
+struct Severity {
+  const char* label;
+  const char* plan;  // empty = fault-free
+};
+
+constexpr Severity kSeverities[] = {
+    {"none", ""},
+    {"light", "drop=0.05"},
+    {"straggler", "node=1,stall=0.5,stall_us=3000;drop=0.1"},
+    {"churn", "kind=flushbatch,drop=0.4;drop=0.1,dup=0.05,delay=0.1,"
+              "delay_us=300"},
+};
+
+constexpr const char* kApps[] = {"jacobi-async", "sor-async"};
+
+struct Cell {
+  const char* app;
+  const Mode* mode;
+  const Severity* severity;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --fault-seed is this bench's own knob; everything else is shared. The
+  // gang mode is part of each cell, so a user --gang= is ignored here.
+  std::uint64_t fault_seed = 42;
+  std::vector<char*> passthrough{argv, argv + 1};
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kPrefix = "--fault-seed=";
+    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
+      fault_seed = std::strtoull(argv[i] + std::strlen(kPrefix), nullptr, 0);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  auto opt = bench::BenchOptions::parse(static_cast<int>(passthrough.size()),
+                                        passthrough.data());
+  // Convergence runs sweep until the residual settles; keep the default
+  // grid small enough that the full 32-cell matrix stays snappy.
+  if (opt.scale == 1.0) opt.scale = 0.25;
+
+  std::vector<Cell> cells;
+  std::vector<std::function<harness::RunResult()>> tasks;
+  for (const char* app : kApps) {
+    for (const Mode& mode : kModes) {
+      for (const Severity& sev : kSeverities) {
+        cells.push_back(Cell{app, &mode, &sev});
+        const bench::BenchOptions o = opt;
+        tasks.push_back([o, app = std::string(app), &mode, &sev,
+                         fault_seed] {
+          dsm::ClusterConfig cfg = o.cluster_config();
+          cfg.gang = mode.gang;
+          if (sev.plan[0] != '\0') {
+            cfg.faults = sim::FaultSpec::parse(sev.plan);
+            cfg.fault_seed = fault_seed;
+          }
+          return harness::run_app(app, mode.kind, cfg, o.app_params());
+        });
+      }
+    }
+  }
+  const std::vector<harness::RunResult> results =
+      harness::run_grid(tasks, opt.jobs);
+
+  std::printf("Ablation X8: barrier-free async iteration vs barrier "
+              "execution (fault seed %llu, scale %.2f, %d nodes)\n\n",
+              static_cast<unsigned long long>(fault_seed), opt.scale,
+              opt.nodes);
+
+  std::FILE* json = std::fopen("BENCH_async.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_async.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"async_ablation\",\n"
+               "  \"fault_seed\": %llu,\n  \"scale\": %.3f,\n"
+               "  \"nodes\": %d,\n",
+               static_cast<unsigned long long>(fault_seed), opt.scale,
+               opt.nodes);
+  bench::write_host_env_json(json, opt);
+  std::fprintf(json, "  \"runs\": [");
+
+  bool all_converged = true;
+  bool first_json = true;
+  // elapsed per (app, severity) for the best sync and best async mode,
+  // for the summary's who-wins table.
+  constexpr std::size_t kNumSev =
+      sizeof(kSeverities) / sizeof(kSeverities[0]);
+  constexpr std::size_t kNumApps = sizeof(kApps) / sizeof(kApps[0]);
+  sim::SimTime best_sync[kNumApps][kNumSev];
+  sim::SimTime best_async[kNumApps][kNumSev];
+  for (std::size_t a = 0; a < kNumApps; ++a) {
+    for (std::size_t s = 0; s < kNumSev; ++s) {
+      best_sync[a][s] = 0;
+      best_async[a][s] = 0;
+    }
+  }
+
+  std::string cur_app;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const harness::RunResult& run = results[i];
+    // The async stencils report a converged FLAG as their checksum: 1.0
+    // means every node reached the fixed point within tolerance (their
+    // in-place chaotic byte pattern is schedule-dependent by design, so
+    // bit-comparing grids across modes would be meaningless).
+    const bool converged = run.checksum == 1.0;
+    all_converged = all_converged && converged;
+
+    if (cell.app != cur_app) {
+      cur_app = cell.app;
+      std::printf("%s:\n  %-11s %-10s %10s %8s %9s %8s %9s %9s\n",
+                  cell.app, "mode", "severity", "elapsed", "sweeps",
+                  "messages", "kB", "refreshes", "throttles");
+    }
+    std::printf("  %-11s %-10s %8.2fms %8llu %9llu %8llu %9llu %9llu%s\n",
+                cell.mode->label, cell.severity->label,
+                sim::to_msec(run.elapsed),
+                static_cast<unsigned long long>(run.app_iterations),
+                static_cast<unsigned long long>(run.net.table_messages()),
+                static_cast<unsigned long long>(run.net.total_bytes() / 1024),
+                static_cast<unsigned long long>(
+                    run.counters.async_refreshes.load()),
+                static_cast<unsigned long long>(
+                    run.counters.async_throttles.load()),
+                converged ? "" : "  NOT CONVERGED");
+    if (&cell.severity[1] == kSeverities + kNumSev &&
+        cell.mode == &kModes[sizeof(kModes) / sizeof(kModes[0]) - 1]) {
+      std::printf("\n");
+    }
+
+    const std::size_t a = (cell.app == std::string(kApps[0])) ? 0 : 1;
+    const std::size_t s =
+        static_cast<std::size_t>(cell.severity - kSeverities);
+    sim::SimTime* best = (cell.mode->gang == sim::GangMode::Async)
+                             ? &best_async[a][s]
+                             : &best_sync[a][s];
+    if (*best == 0 || run.elapsed < *best) *best = run.elapsed;
+
+    std::fprintf(json,
+                 "%s\n    {\"app\": \"%s\", \"mode\": \"%s\", "
+                 "\"protocol\": \"%s\", \"gang\": \"%s\", "
+                 "\"severity\": \"%s\", \"plan\": \"%s\", "
+                 "\"elapsed_ms\": %.3f, \"iterations\": %llu, "
+                 "\"converged\": %s, \"final_residual\": %.6e, "
+                 "\"messages\": %llu, \"data_kb\": %llu, "
+                 "\"async_steps\": %llu, \"async_refreshes\": %llu, "
+                 "\"async_invalidations\": %llu, \"async_throttles\": %llu}",
+                 first_json ? "" : ",", cell.app, cell.mode->label,
+                 protocols::to_string(cell.mode->kind),
+                 sim::to_string(cell.mode->gang), cell.severity->label,
+                 cell.severity->plan, sim::to_msec(run.elapsed),
+                 static_cast<unsigned long long>(run.app_iterations),
+                 converged ? "true" : "false", run.final_residual,
+                 static_cast<unsigned long long>(run.net.table_messages()),
+                 static_cast<unsigned long long>(run.net.total_bytes() /
+                                                 1024),
+                 static_cast<unsigned long long>(
+                     run.counters.async_steps.load()),
+                 static_cast<unsigned long long>(
+                     run.counters.async_refreshes.load()),
+                 static_cast<unsigned long long>(
+                     run.counters.async_invalidations.load()),
+                 static_cast<unsigned long long>(
+                     run.counters.async_throttles.load()));
+    first_json = false;
+  }
+
+  // Summary: where does asynchrony win? The paper's claim is the
+  // straggler column; a clean-transport win or loss is workload-dependent.
+  int async_wins_straggler = 0;
+  int straggler_cells = 0;
+  std::printf("summary:\n");
+  for (std::size_t a = 0; a < kNumApps; ++a) {
+    for (std::size_t s = 0; s < kNumSev; ++s) {
+      const double ratio = static_cast<double>(best_sync[a][s]) /
+                           static_cast<double>(best_async[a][s]);
+      const bool straggler =
+          std::strcmp(kSeverities[s].label, "straggler") == 0;
+      if (straggler) {
+        ++straggler_cells;
+        if (ratio > 1.0) ++async_wins_straggler;
+      }
+      std::printf("  %-13s %-10s best sync %8.2fms / best async %8.2fms "
+                  "-> async %s by %.2fx\n",
+                  kApps[a], kSeverities[s].label,
+                  sim::to_msec(best_sync[a][s]),
+                  sim::to_msec(best_async[a][s]),
+                  ratio > 1.0 ? "wins " : "loses", ratio > 1.0 ? ratio
+                                                               : 1.0 / ratio);
+    }
+  }
+  std::printf("  async wins %d/%d straggler cells; all %zu runs %s\n",
+              async_wins_straggler, straggler_cells, cells.size(),
+              all_converged ? "converged" : "-- SOME DID NOT CONVERGE");
+
+  std::fprintf(json,
+               "\n  ],\n  \"all_converged\": %s,\n"
+               "  \"async_wins_straggler_cells\": %d,\n"
+               "  \"straggler_cells\": %d\n}\n",
+               all_converged ? "true" : "false", async_wins_straggler,
+               straggler_cells);
+  std::fclose(json);
+  std::printf("wrote BENCH_async.json (%zu runs)\n", cells.size());
+  return all_converged ? 0 : 1;
+}

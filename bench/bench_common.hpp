@@ -32,8 +32,10 @@ struct BenchOptions {
   /// Output is byte-identical for every value (results are collected by
   /// grid index, and each cell is an independent deterministic simulation).
   int jobs = harness::default_jobs();
-  /// Intra-run node scheduling (--gang=parallel|baton). Output is
-  /// byte-identical across modes; a ctest pins it.
+  /// Intra-run node scheduling (--gang=parallel|baton|async). Output is
+  /// byte-identical across parallel/baton (and across worker counts in
+  /// every mode); async changes the iteration structure itself, so its
+  /// numbers form their own column. A ctest pins both properties.
   sim::GangMode gang = sim::GangMode::Parallel;
   /// OS threads the gang multiplexes the simulated nodes over
   /// (--workers=M; 0 = auto). Output is byte-identical for every value;
@@ -82,6 +84,8 @@ struct BenchOptions {
           opt.gang = sim::GangMode::Parallel;
         } else if (mode == "baton") {
           opt.gang = sim::GangMode::Baton;
+        } else if (mode == "async") {
+          opt.gang = sim::GangMode::Async;
         } else {
           std::fprintf(stderr, "unknown gang mode: %s\n", v);
           std::exit(2);
@@ -112,7 +116,7 @@ struct BenchOptions {
       } else if (arg == "--help") {
         std::printf(
             "options: --nodes=N --scale=F --iters=N --warmup=N --jobs=N "
-            "--gang=parallel|baton --workers=M --no-aggregate --fanout=K "
+            "--gang=parallel|baton|async --workers=M --no-aggregate --fanout=K "
             "--relay-threshold=N --relay-fanout=K --net-profile=sp2|rdma "
             "--cost=K=V --adaptive-window=W --quick\n");
         std::exit(0);
@@ -166,8 +170,7 @@ inline void write_host_env_json(std::FILE* json, int resolved_workers,
                "  \"host_cores\": %u,\n  \"workers\": %d,\n"
                "  \"gang\": \"%s\",\n  \"net_profile\": \"%s\",\n",
                std::thread::hardware_concurrency(), resolved_workers,
-               mode == sim::GangMode::Parallel ? "parallel" : "baton",
-               net_profile.c_str());
+               sim::to_string(mode), net_profile.c_str());
   std::fprintf(json, "  \"cost_overrides\": [");
   for (std::size_t i = 0; i < overrides.size(); ++i) {
     std::fprintf(json, "%s\"%s\"", i == 0 ? "" : ", ", overrides[i].c_str());

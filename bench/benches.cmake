@@ -24,6 +24,7 @@ updsm_add_bench(ablation_migration)
 updsm_add_bench(ablation_faults)
 updsm_add_bench(ablation_aggregation)
 updsm_add_bench(ablation_profiles)
+updsm_add_bench(ablation_async)
 
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
 target_link_libraries(micro_primitives PRIVATE

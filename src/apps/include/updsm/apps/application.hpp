@@ -54,11 +54,24 @@ class Application {
   virtual void allocate(mem::SharedHeap& heap) = 0;
 
   /// The per-node program: init -> warmup -> measured window -> checksum.
-  void run(dsm::NodeContext& ctx);
+  /// Virtual for workloads whose loop is not a fixed iteration count (the
+  /// async stencils run to convergence); overrides must keep the barrier
+  /// count identical across nodes and call set_checksum on node 0.
+  virtual void run(dsm::NodeContext& ctx);
 
   /// Result checksum computed by node 0 at the end of run(); identical
   /// across protocols and node counts for a correct protocol.
   [[nodiscard]] double result_checksum() const { return checksum_; }
+
+  /// Iterations the run actually executed: the fixed warmup+measured count
+  /// for the standard skeleton; run-to-convergence workloads report the
+  /// largest per-node sweep count instead.
+  [[nodiscard]] virtual std::uint64_t iterations_completed() const {
+    return static_cast<std::uint64_t>(total_iterations());
+  }
+  /// Final residual for convergence workloads (0 for the fixed-iteration
+  /// skeleton, which has no residual notion at this level).
+  [[nodiscard]] virtual double final_residual() const { return 0.0; }
 
   [[nodiscard]] const AppParams& params() const { return params_; }
   [[nodiscard]] int total_iterations() const {
@@ -66,6 +79,8 @@ class Application {
   }
 
  protected:
+  void set_checksum(double v) { checksum_ = v; }
+
   /// Populates initial data (typically from node 0, through the DSM).
   virtual void init(dsm::NodeContext& ctx) = 0;
   /// One time-step; may contain any number of barriers, but the same

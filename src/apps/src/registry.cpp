@@ -1,5 +1,6 @@
 #include "updsm/apps/registry.hpp"
 
+#include "updsm/apps/async_stencil.hpp"
 #include "updsm/apps/barnes.hpp"
 #include "updsm/apps/expl.hpp"
 #include "updsm/apps/fft.hpp"
@@ -13,6 +14,10 @@ namespace updsm::apps {
 
 std::vector<std::string_view> app_names() {
   return {"barnes", "expl", "fft", "jacobi", "shal", "sor", "swm", "tomcat"};
+}
+
+std::vector<std::string_view> async_app_names() {
+  return {"jacobi-async", "sor-async"};
 }
 
 std::unique_ptr<Application> make_app(std::string_view name,
@@ -33,6 +38,12 @@ std::unique_ptr<Application> make_app(std::string_view name,
                                         /*shifted_smoothing=*/true);
   }
   if (name == "tomcat") return std::make_unique<TomcatvApp>(params);
+  if (name == "jacobi-async") {
+    return std::make_unique<AsyncStencilApp>(params, StencilKind::Jacobi);
+  }
+  if (name == "sor-async") {
+    return std::make_unique<AsyncStencilApp>(params, StencilKind::SorRb);
+  }
   throw UsageError("unknown application: " + std::string(name));
 }
 

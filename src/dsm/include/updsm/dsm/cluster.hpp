@@ -84,6 +84,10 @@ class Cluster {
   /// Barriers executed.
   [[nodiscard]] std::uint64_t barriers() const { return gang_.barriers_completed(); }
 
+  /// The scheduling mode actually in effect (after any protocol-driven
+  /// downgrade); apps use it to pick the barrier vs async iteration loop.
+  [[nodiscard]] sim::GangMode gang_mode() const { return gang_.mode(); }
+
   /// Conflicts found so far by the race detector (RaceCheck::Warn mode).
   [[nodiscard]] const std::vector<RaceReport>& race_reports() const {
     return race_reports_;
@@ -99,6 +103,12 @@ class Cluster {
   void node_compute(NodeId n, sim::SimTime t);
   [[nodiscard]] std::byte* node_touch(NodeId n, GlobalAddr addr,
                                       std::size_t len, AccessMode mode);
+  /// One barrier-free iteration boundary (gang=Async only): publishes node
+  /// n's writes and `residual` through the protocol, applies any FaultPlan
+  /// stall keyed by (node, per-node step index), yields the scheduler turn,
+  /// and refreshes stale cached pages on resume. Returns true once global
+  /// convergence has been detected.
+  [[nodiscard]] bool node_async_step(NodeId n, double residual);
 
  private:
   void do_barrier(std::uint64_t index);
@@ -124,6 +134,11 @@ class Cluster {
   std::vector<std::uint8_t> measurement_requested_;
   std::vector<std::uint8_t> measurement_end_requested_;
   std::vector<std::uint64_t> iteration_count_;
+  std::vector<std::uint64_t> async_step_count_;
+  /// 1 while the node is inside its async iteration loop (between its first
+  /// async_step and its next barrier); the bounded-asynchrony throttle only
+  /// waits on active nodes, so drained nodes can never stall the others.
+  std::vector<std::uint8_t> async_active_;
 
   std::unique_ptr<RaceDetector> race_detector_;  // null when Off
   std::vector<RaceReport> race_reports_;

@@ -132,6 +132,32 @@ struct ClusterConfig {
   /// maintain consistency"; the audit makes that observable in tests).
   bool overdrive_audit = false;
 
+  // --- asynchronous iteration (gang=Async, async-u / async-i) -------------
+  /// Bounded-staleness window for the async protocols: after yielding its
+  /// turn, a node refreshes every cached page whose home version has
+  /// advanced by MORE than this many publishes since the cached copy. 0 =
+  /// always-fresh reads (refetch on any newer version); larger values trade
+  /// refresh traffic for staler reads. `--staleness` on the tools.
+  int staleness_bound = 4;
+  /// Convergence window for the async residual detector: a node counts as
+  /// settled after this many consecutive published residuals at or under
+  /// the app's tolerance; the run converges when every node is settled
+  /// (sticky -- see protocols/convergence.hpp).
+  int async_convergence_window = 3;
+  /// Residual tolerance the async detector settles against. Apps use the
+  /// same value to pick their own drain criterion, so sync and async runs
+  /// of a workload converge to the same residual. `--tolerance` on the
+  /// tools.
+  double async_tolerance = 1e-6;
+  /// Bounded-asynchrony throttle: a node more than this many async steps
+  /// ahead of the slowest node still iterating blocks (accruing Wait time)
+  /// until the straggler catches up. Under lossy fault plans retry
+  /// timeouts can skew per-sweep costs 25:1; without a bound the fast node
+  /// burns its whole drain backstop before stragglers settle and its stale
+  /// final residual can poison convergence detection. 0 disables the
+  /// throttle (unbounded run-ahead).
+  int async_max_lead = 64;
+
   // --- debugging tools ----------------------------------------------------
   /// Byte-granularity data-race detection (paper §5.2's companion tool):
   /// reports same-epoch conflicting accesses at each barrier. Off by
@@ -181,6 +207,38 @@ inline void validate_cluster_config(const ClusterConfig& config) {
   if (config.adaptive_window < 2 || config.adaptive_window > 64) {
     throw UsageError("adaptive_window must be between 2 and 64, got " +
                      std::to_string(config.adaptive_window));
+  }
+  if (config.staleness_bound < 0) {
+    throw UsageError("staleness_bound must be >= 0 (0 = always fresh), got " +
+                     std::to_string(config.staleness_bound));
+  }
+  if (config.async_convergence_window < 1) {
+    throw UsageError("async_convergence_window must be >= 1, got " +
+                     std::to_string(config.async_convergence_window));
+  }
+  if (config.async_max_lead < 0) {
+    throw UsageError("async_max_lead must be >= 0 (0 = unbounded), got " +
+                     std::to_string(config.async_max_lead));
+  }
+  if (!(config.async_tolerance > 0.0)) {
+    throw UsageError("async_tolerance must be > 0, got " +
+                     std::to_string(config.async_tolerance));
+  }
+}
+
+/// Gang/protocol compatibility check, shared by the CLIs and the cluster
+/// constructor: the async gang hands turns to exactly one node at a time,
+/// but its yield points interleave *mid-iteration* protocol work, so it
+/// requires a protocol whose handlers follow the parallel-safe discipline.
+/// `parallel_safe` comes from the protocol object (config.hpp cannot see
+/// CoherenceProtocol); `protocol_name` makes the message friendly.
+inline void validate_gang_protocol(sim::GangMode gang, bool parallel_safe,
+                                   const std::string& protocol_name) {
+  if (gang == sim::GangMode::Async && !parallel_safe) {
+    throw UsageError("--gang=async is not supported with protocol '" +
+                     protocol_name +
+                     "' (its handlers are not parallel-safe); pick a "
+                     "parallel-safe protocol or --gang=baton/parallel");
   }
 }
 

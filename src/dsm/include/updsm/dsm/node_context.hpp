@@ -59,6 +59,38 @@ class NodeContext {
   /// SUIF-style annotation marking the top of the time-step loop body.
   void iteration_begin() { cluster_->node_iteration_begin(id_); }
 
+  /// True when this run executes under the barrier-free async gang; apps
+  /// with an async port switch their iteration loop on it.
+  [[nodiscard]] bool async_mode() const {
+    return cluster_->gang_mode() == sim::GangMode::Async;
+  }
+
+  /// Residual tolerance configured for convergence workloads
+  /// (ClusterConfig::async_tolerance): apps drain their solve loop against
+  /// the same value the async detector settles on, so sync and async runs
+  /// converge to the same residual.
+  [[nodiscard]] double convergence_tolerance() const {
+    return cluster_->runtime().config().async_tolerance;
+  }
+
+  /// Barrier-free iteration boundary (async mode only): publishes this
+  /// node's writes and local `residual`, yields to the node with the
+  /// smallest virtual clock, and refreshes stale pages on resume. Returns
+  /// true once the global residual detector has (stickily) converged --
+  /// the node should then leave its iteration loop.
+  [[nodiscard]] bool async_step(double residual) {
+    return cluster_->node_async_step(id_, residual);
+  }
+
+  /// Global convergence verdict of the async residual detector. Only
+  /// authoritative once every node has drained out of its iteration loop
+  /// (read it after a post-loop barrier): a node can exhaust its sweep
+  /// backstop before stragglers settle, and the detector's verdict -- not
+  /// that node's loop-exit flag -- decides whether the run converged.
+  [[nodiscard]] bool async_converged() const {
+    return cluster_->protocol().async_converged();
+  }
+
   /// Requests the steady-state measurement window to open at the next
   /// barrier. Collective: every node must request before that barrier.
   void begin_measurement() { cluster_->node_request_measurement(id_); }

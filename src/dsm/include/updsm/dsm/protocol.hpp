@@ -38,8 +38,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
+#include "updsm/common/error.hpp"
 #include "updsm/common/types.hpp"
 
 namespace updsm::dsm {
@@ -88,6 +90,50 @@ class CoherenceProtocol {
     (void)n;
     (void)iteration;
   }
+
+  // --- asynchronous stepping (GangMode::Async) ---------------------------
+  // Under the async gang there are no mid-run barriers: instead, each node
+  // brackets every iteration with a two-phase protocol hook around the
+  // scheduler yield. Exactly one node runs at a time (see sim/gang.hpp), so
+  // both hooks run with every other node parked and need no locking:
+  //
+  //   async_publish(n, step, residual)  -- BEFORE the yield: flush node n's
+  //     modifications to the homes, bump versions, push/invalidate remote
+  //     caches, and feed `residual` to the convergence detector. Returns
+  //     true once global convergence has been detected (sticky).
+  //   async_refresh(n)                  -- AFTER the yield returns: re-fetch
+  //     every cached page whose home version ran ahead of the staleness
+  //     bound while n was parked. Because versions only advance while n is
+  //     parked, this is exactly the point that enforces the bound.
+  //
+  // Protocols that do not support barrier-free execution keep the throwing
+  // defaults; the cluster additionally rejects gang=Async for them up
+  // front (validate_gang_protocol).
+
+  /// Publish node n's writes and its local residual for async step `step`;
+  /// returns true when the run has globally converged.
+  [[nodiscard]] virtual bool async_publish(NodeId n, std::uint64_t step,
+                                           double residual) {
+    (void)step;
+    (void)residual;
+    throw UsageError(std::string("protocol '") + std::string(name()) +
+                     "' does not support asynchronous stepping (node " +
+                     std::to_string(n.index()) + ")");
+  }
+
+  /// Refresh node n's stale cached pages after an async yield.
+  virtual void async_refresh(NodeId n) {
+    throw UsageError(std::string("protocol '") + std::string(name()) +
+                     "' does not support asynchronous stepping (node " +
+                     std::to_string(n.index()) + ")");
+  }
+
+  /// The global convergence verdict, readable after nodes drain out of
+  /// their async loops. A node can exhaust its local sweep backstop while
+  /// stragglers are still settling; once every node has drained (i.e. at
+  /// the first post-loop barrier) this is the authoritative answer, not
+  /// the per-node loop-exit flag. False for protocols without a detector.
+  [[nodiscard]] virtual bool async_converged() const { return false; }
 
   /// Page-sized buffers (twins + service snapshots) currently held live
   /// across all nodes -- i.e. the open loans against the per-worker

@@ -99,6 +99,17 @@ struct ProtocolCounters {
   /// Adaptive protocol: history samples evicted from full per-page sliding
   /// windows (window pressure; 0 means every page's history fit).
   Cell adaptive_window_evictions = 0;
+  /// Barrier-free iteration boundaries executed (gang=async; one per
+  /// node-iteration, the async analogue of node-barriers).
+  Cell async_steps = 0;
+  /// Pages refetched by the async staleness refresh (cached copy lagged
+  /// the home version by more than the staleness bound).
+  Cell async_refreshes = 0;
+  /// Cached copies invalidated by async-i publishes.
+  Cell async_invalidations = 0;
+  /// Times a node blocked on the bounded-asynchrony throttle
+  /// (ClusterConfig::async_max_lead) waiting for a straggler to catch up.
+  Cell async_throttles = 0;
 
   ProtocolCounters& operator+=(const ProtocolCounters& o) {
     diffs_created += o.diffs_created;
@@ -143,6 +154,10 @@ struct ProtocolCounters {
     relay_subtree_losses += o.relay_subtree_losses;
     adaptive_switches += o.adaptive_switches;
     adaptive_window_evictions += o.adaptive_window_evictions;
+    async_steps += o.async_steps;
+    async_refreshes += o.async_refreshes;
+    async_invalidations += o.async_invalidations;
+    async_throttles += o.async_throttles;
     return *this;
   }
 };

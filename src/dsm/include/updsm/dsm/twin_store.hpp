@@ -66,6 +66,16 @@ class TwinStore {
     return it->second;
   }
 
+  /// Mutable view of an existing twin. The async protocols keep a home's
+  /// twin equal to its last-PUBLISHED contents (the frame may hold newer
+  /// unpublished local writes), so foreign diffs must be applied to the
+  /// twin as well as the frame.
+  [[nodiscard]] std::span<std::byte> get_mut(PageId page) {
+    const auto it = twins_.find(page);
+    UPDSM_CHECK_MSG(it != twins_.end(), "no twin for page " << page);
+    return it->second;
+  }
+
   void discard(PageId page) {
     const auto it = twins_.find(page);
     if (it == twins_.end()) return;

@@ -17,9 +17,16 @@ using sim::TimeCat;
 constexpr std::uint64_t kReduceWireBytes = 16;
 
 /// Parallel scheduling is opt-in per protocol: anything whose fault
-/// handlers mutate remote state mid-phase (sc-sw) keeps the baton.
+/// handlers mutate remote state mid-phase (sc-sw) keeps the baton. The
+/// async gang cannot be silently downgraded (the app's iteration structure
+/// depends on it), so an unsafe protocol there is a hard error.
 sim::GangMode effective_gang_mode(const ClusterConfig& config,
                                   const CoherenceProtocol* protocol) {
+  if (protocol != nullptr && config.gang == sim::GangMode::Async) {
+    validate_gang_protocol(config.gang, protocol->parallel_safe(),
+                           std::string(protocol->name()));
+    return config.gang;
+  }
   if (protocol != nullptr && !protocol->parallel_safe()) {
     return sim::GangMode::Baton;
   }
@@ -46,6 +53,14 @@ Cluster::Cluster(const ClusterConfig& config, const mem::SharedHeap& heap,
   measurement_requested_.assign(n, 0);
   measurement_end_requested_.assign(n, 0);
   iteration_count_.assign(n, 0);
+  async_step_count_.assign(n, 0);
+  async_active_.assign(n, 0);
+  // Async scheduling is ordered by the nodes' virtual clocks; clocks only
+  // advance while their node holds the turn, so the lookup is race-free.
+  gang_.set_clock_source([this](int node) {
+    const SimTime now = rt_.clock(NodeId{static_cast<std::uint32_t>(node)}).now();
+    return now < 0 ? 0u : static_cast<std::uint64_t>(now);
+  });
   protocol_->init(rt_);
 }
 
@@ -90,7 +105,73 @@ BreakdownReport Cluster::breakdown() const {
   return report;
 }
 
-void Cluster::node_barrier(NodeId n) { gang_.barrier_wait(static_cast<int>(n.value())); }
+void Cluster::node_barrier(NodeId n) {
+  async_active_[n.index()] = 0;  // drained out of its async loop (if any)
+  gang_.barrier_wait(static_cast<int>(n.value()));
+}
+
+bool Cluster::node_async_step(NodeId n, double residual) {
+  UPDSM_REQUIRE(gang_.mode() == sim::GangMode::Async,
+                "async_step called outside gang=async (mode is "
+                    << sim::to_string(gang_.mode()) << ")");
+  const std::uint64_t step = async_step_count_[n.index()]++;
+  async_active_[n.index()] = 1;
+  // Publish BEFORE the yield: this node's diffs reach the homes (and its
+  // residual the detector) while it still holds the turn, so the event
+  // order stays a pure function of the virtual clocks.
+  const bool converged = protocol_->async_publish(n, step, residual);
+  ++rt_.counters().async_steps;
+  // Straggler injection: the same stateless (node, index) stall stream the
+  // barrier path uses, keyed here by the node's own step count.
+  if (auto* plan = rt_.fault_plan()) {
+    const SimTime stall = plan->stall(n, step);
+    if (stall > 0) {
+      rt_.clock(n).advance(TimeCat::Os, stall);
+      ++rt_.counters().node_stalls;
+      if (auto* trace = rt_.trace()) {
+        trace->emit("stall n" + std::to_string(n.value()) + " " +
+                    std::to_string(stall) + "ns");
+      }
+    }
+  }
+  gang_.async_step(static_cast<int>(n.value()));
+  // Bounded asynchrony: under lossy fault plans retry timeouts can skew
+  // per-sweep virtual costs by orders of magnitude, letting a cheap node
+  // burn its entire drain backstop while a straggler is still settling. A
+  // node more than async_max_lead steps ahead of the slowest node still
+  // iterating blocks here -- its clock advances in Wait past the
+  // straggler's so the scheduler hands the turn over -- until the gap
+  // closes. Only ACTIVE nodes count: a drained node can never stall the
+  // rest. Deterministic: the wait target is a pure function of the
+  // virtual clocks and step counts.
+  const int max_lead = rt_.config().async_max_lead;
+  while (max_lead > 0) {
+    std::uint64_t slowest_steps = async_step_count_[n.index()];
+    NodeId slowest = n;
+    for (std::size_t i = 0; i < async_active_.size(); ++i) {
+      if (async_active_[i] == 0) continue;
+      if (async_step_count_[i] < slowest_steps) {
+        slowest_steps = async_step_count_[i];
+        slowest = NodeId{static_cast<std::uint32_t>(i)};
+      }
+    }
+    if (slowest == n || async_step_count_[n.index()] <=
+                            slowest_steps + static_cast<std::uint64_t>(
+                                                max_lead)) {
+      break;
+    }
+    const SimTime target = rt_.clock(slowest).now() + 1;
+    const SimTime now = rt_.clock(n).now();
+    if (now < target) rt_.clock(n).advance(TimeCat::Wait, target - now);
+    ++rt_.counters().async_throttles;
+    gang_.async_step(static_cast<int>(n.value()));
+  }
+  // Refresh AFTER the yield: home versions only advanced while this node
+  // was parked, so refetching every page beyond the staleness bound here
+  // guarantees the bound for every read of the next sweep.
+  protocol_->async_refresh(n);
+  return converged;
+}
 
 void Cluster::node_reduce_prepare(NodeId n, ReduceOp op, double value) {
   auto& slot = pending_reduce_[n.index()];

@@ -26,6 +26,12 @@ struct RunResult {
   sim::NetworkStats net;
   dsm::BreakdownReport breakdown;
   std::uint64_t barriers = 0;
+  /// Iterations the app actually executed: the fixed count for the
+  /// standard skeleton, the largest per-node sweep count for the
+  /// run-to-convergence (async) workloads.
+  std::uint64_t app_iterations = 0;
+  /// Final residual of convergence workloads (0 for fixed-iteration apps).
+  double final_residual = 0.0;
   std::uint64_t shared_bytes = 0;
   /// Whole-run per-page event counts and the heap layout to attribute them.
   std::vector<dsm::PageStats> page_stats;

@@ -28,6 +28,8 @@ RunResult run_impl(std::string_view app_name, protocols::ProtocolKind kind,
   result.net = cluster.runtime().measured_net_stats();
   result.breakdown = cluster.breakdown();
   result.barriers = cluster.barriers();
+  result.app_iterations = app->iterations_completed();
+  result.final_residual = app->final_residual();
   result.shared_bytes = heap.bytes_used();
   result.page_stats = cluster.runtime().page_stats();
   result.allocations = heap.allocations();
@@ -77,6 +79,11 @@ RunResult run_sequential(std::string_view app_name,
                          const apps::AppParams& params) {
   dsm::ClusterConfig seq_config = config;
   seq_config.num_nodes = 1;
+  // The null protocol has no async hooks; a 1-node run has nothing to
+  // overlap anyway, so the baseline always executes a barrier gang.
+  if (seq_config.gang == sim::GangMode::Async) {
+    seq_config.gang = sim::GangMode::Baton;
+  }
   return run_impl(app_name, protocols::ProtocolKind::Null, seq_config,
                   params);
 }

@@ -1,0 +1,99 @@
+// Epoch/residual-based convergence detection for barrier-free iteration.
+//
+// Barrier-synchronous solvers decide doneness collectively: every node
+// contributes its local residual to a reduction and every node sees the
+// same verdict at the same barrier. A barrier-free solver has neither the
+// reduction nor the "same time" -- nodes publish residuals at their own
+// pace, reports arrive interleaved, and a straggler may go quiet for long
+// stretches. This detector replaces the collective check:
+//
+//  * Each node reports its local residual once per asynchronous step
+//    (epoch). A node becomes SETTLED after `window` *consecutive* reports
+//    at or under `tolerance`; a report above tolerance resets both the
+//    streak and the settled flag, so an oscillating residual can never
+//    produce a false positive.
+//  * A settled node STAYS settled while it is silent: a straggler that
+//    settled and then stalls (or simply steps slowly) cannot deadlock
+//    detection, because no fresh report is required to keep its verdict.
+//  * The run is CONVERGED once every node is settled simultaneously.
+//    Convergence is sticky -- nodes drain out of their loops at different
+//    times, and a late report from a draining node must not resurrect the
+//    run.
+//
+// Single-threaded by design: under GangMode::Async exactly one node runs
+// at a time, so reports are naturally serialized (see sim/gang.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "updsm/common/error.hpp"
+
+namespace updsm::protocols {
+
+class ConvergenceDetector {
+ public:
+  ConvergenceDetector(int num_nodes, double tolerance, int window)
+      : tolerance_(tolerance), window_(window) {
+    UPDSM_REQUIRE(num_nodes >= 1, "detector needs >= 1 node, got "
+                                      << num_nodes);
+    UPDSM_REQUIRE(tolerance > 0.0,
+                  "tolerance must be > 0, got " << tolerance);
+    UPDSM_REQUIRE(window >= 1, "window must be >= 1, got " << window);
+    streak_.assign(static_cast<std::size_t>(num_nodes), 0);
+    settled_.assign(static_cast<std::size_t>(num_nodes), 0);
+    last_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+    reported_.assign(static_cast<std::size_t>(num_nodes), 0);
+  }
+
+  /// Feeds node `node`'s residual for its latest step; returns converged().
+  bool report(int node, double residual) {
+    const auto i = static_cast<std::size_t>(node);
+    UPDSM_REQUIRE(i < streak_.size(), "detector report from node " << node);
+    ++reports_;
+    last_[i] = residual;
+    reported_[i] = 1;
+    if (converged_) return true;  // sticky: late drain reports are no-ops
+    if (residual <= tolerance_) {
+      if (++streak_[i] >= window_) settled_[i] = 1;
+    } else {
+      streak_[i] = 0;
+      settled_[i] = 0;  // un-settle: no false positive on oscillation
+    }
+    bool all = true;
+    for (const std::uint8_t s : settled_) all = all && s != 0;
+    converged_ = all;
+    return converged_;
+  }
+
+  [[nodiscard]] bool converged() const { return converged_; }
+  [[nodiscard]] bool settled(int node) const {
+    return settled_[static_cast<std::size_t>(node)] != 0;
+  }
+  [[nodiscard]] double last_residual(int node) const {
+    return last_[static_cast<std::size_t>(node)];
+  }
+  /// Worst last-reported residual across nodes that reported at all.
+  [[nodiscard]] double worst_residual() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < last_.size(); ++i) {
+      if (reported_[i] != 0 && last_[i] > worst) worst = last_[i];
+    }
+    return worst;
+  }
+  [[nodiscard]] std::uint64_t reports() const { return reports_; }
+  [[nodiscard]] double tolerance() const { return tolerance_; }
+  [[nodiscard]] int window() const { return window_; }
+
+ private:
+  double tolerance_;
+  int window_;
+  std::vector<int> streak_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<double> last_;
+  std::vector<std::uint8_t> reported_;
+  std::uint64_t reports_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace updsm::protocols

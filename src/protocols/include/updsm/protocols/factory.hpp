@@ -20,6 +20,8 @@ enum class ProtocolKind {
   Adaptive,  // per-page invalidate/update/overdrive under the active costs
   ScSw,  // sequentially consistent single-writer (extra baseline)
   Null,  // the 1-node sequential baseline
+  AsyncU,  // stale-tolerant home-based protocol for gang=async, update
+  AsyncI,  // stale-tolerant home-based protocol for gang=async, invalidate
 };
 
 [[nodiscard]] const char* to_string(ProtocolKind kind);

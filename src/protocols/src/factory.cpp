@@ -3,6 +3,7 @@
 #include "updsm/common/error.hpp"
 #include "updsm/dsm/null_protocol.hpp"
 #include "updsm/protocols/adaptive.hpp"
+#include "updsm/protocols/async_update.hpp"
 #include "updsm/protocols/bar.hpp"
 #include "updsm/protocols/lmw.hpp"
 #include "updsm/protocols/sc_sw.hpp"
@@ -29,6 +30,10 @@ const char* to_string(ProtocolKind kind) {
       return "sc-sw";
     case ProtocolKind::Null:
       return "null";
+    case ProtocolKind::AsyncU:
+      return "async-u";
+    case ProtocolKind::AsyncI:
+      return "async-i";
   }
   return "?";
 }
@@ -43,6 +48,8 @@ ProtocolKind protocol_from_string(std::string_view name) {
   if (name == "adaptive") return ProtocolKind::Adaptive;
   if (name == "sc-sw") return ProtocolKind::ScSw;
   if (name == "null") return ProtocolKind::Null;
+  if (name == "async-u") return ProtocolKind::AsyncU;
+  if (name == "async-i") return ProtocolKind::AsyncI;
   throw UsageError("unknown protocol name: " + std::string(name));
 }
 
@@ -66,6 +73,10 @@ std::unique_ptr<dsm::CoherenceProtocol> make_protocol(ProtocolKind kind) {
       return std::make_unique<ScSwProtocol>();
     case ProtocolKind::Null:
       return std::make_unique<dsm::NullProtocol>();
+    case ProtocolKind::AsyncU:
+      return std::make_unique<AsyncProtocol>(AsyncMode::Update);
+    case ProtocolKind::AsyncI:
+      return std::make_unique<AsyncProtocol>(AsyncMode::Invalidate);
   }
   throw InternalError("unreachable protocol kind");
 }

@@ -25,6 +25,15 @@
 //    logs, which the barrier callback merges in node order. See
 //    docs/SIMULATION.md ("Execution model" and "Host-parallel execution").
 //
+//  - GangMode::Async: like the baton, exactly ONE runnable node at a time,
+//    but turns are granted by minimum virtual clock (via set_clock_source,
+//    ties to the lowest node id) instead of round order, and a node may
+//    yield its turn *without* parking at a barrier (async_step). This is a
+//    deterministic discrete-event scheduler for barrier-free iteration:
+//    replayable and bit-identical for every worker count, because the
+//    event order is a pure function of the virtual clocks. Collectives
+//    (barrier_wait) still work and are used for setup/teardown phases.
+//
 // There is no global mutex/notify_all herd on the phase transitions: every
 // worker (and the controller) parks on its own cache-line-padded
 // mutex+condvar "parker", phase hand-off in parallel mode goes through an
@@ -76,6 +85,7 @@ namespace updsm::sim {
 enum class GangMode {
   Baton,     ///< one runnable node at a time, strict 0..n-1 round order
   Parallel,  ///< all ready nodes run concurrently between barriers
+  Async,     ///< one runnable node at a time, picked by minimum virtual clock
 };
 
 [[nodiscard]] const char* to_string(GangMode mode);
@@ -107,6 +117,20 @@ class Gang {
   /// returns once the barrier callback has completed and this node may run
   /// again (its baton turn, or the next phase in parallel mode).
   void barrier_wait(int node);
+
+  /// Async mode only: yields this node's turn without parking it at a
+  /// barrier. The scheduler re-admits the Ready node with the minimum
+  /// (clock_source(node), node) pair; when the caller is still that
+  /// minimum, the call returns immediately with no fiber switch. Exactly
+  /// one node runs at a time, so async runs are as race-free (and as
+  /// bit-deterministic across worker counts) as the baton.
+  void async_step(int node);
+
+  /// Wires the virtual-clock lookup used by Async-mode scheduling; must be
+  /// monotone per node between async_step calls. Harmless in other modes.
+  void set_clock_source(std::function<std::uint64_t(int)> clock_source) {
+    clock_source_ = std::move(clock_source);
+  }
 
   [[nodiscard]] int size() const { return num_nodes_; }
 
@@ -186,6 +210,7 @@ class Gang {
   void controller_parallel(const BarrierFn& barrier_cb);
   [[nodiscard]] bool release_parallel_phase();
   void advance_baton_locked(int after);              // requires baton_mu_
+  void advance_async_locked();                       // requires baton_mu_
   void fail_baton_locked(std::exception_ptr error);  // requires baton_mu_
   [[nodiscard]] int span_first(int worker) const { return span_[worker]; }
   [[nodiscard]] int span_last(int worker) const {
@@ -208,6 +233,7 @@ class Gang {
   std::atomic<int> active_workers_{0};
   std::atomic<bool> destroy_{false};
   const NodeFn* node_fn_ = nullptr;
+  std::function<std::uint64_t(int)> clock_source_;  // Async-mode scheduling
 
   // Parallel mode: workers still to arrive at the current phase barrier,
   // and the release epoch (sense counter) parked workers watch. Statuses

@@ -8,7 +8,15 @@
 namespace updsm::sim {
 
 const char* to_string(GangMode mode) {
-  return mode == GangMode::Baton ? "baton" : "parallel";
+  switch (mode) {
+    case GangMode::Baton:
+      return "baton";
+    case GangMode::Parallel:
+      return "parallel";
+    case GangMode::Async:
+      return "async";
+  }
+  return "?";
 }
 
 int Gang::resolve_workers(int workers, int num_nodes) {
@@ -128,6 +136,12 @@ void Gang::detach_worker() {
 }
 
 void Gang::advance_baton_locked(int after) {
+  if (mode_ == GangMode::Async) {
+    // Async turns are clock-ordered, not round-ordered; the round position
+    // of the yielding node is irrelevant.
+    advance_async_locked();
+    return;
+  }
   for (int j = after + 1; j < num_nodes_; ++j) {
     if (slots_[static_cast<std::size_t>(j)]->status == NodeStatus::Ready) {
       turn_ = j;
@@ -143,15 +157,59 @@ void Gang::advance_baton_locked(int after) {
   controller_.wake();
 }
 
+void Gang::advance_async_locked() {
+  // Grant the turn to the Ready node with the minimum (clock, id) pair --
+  // the ascending scan plus strict < makes the lowest id win ties, so the
+  // event order is a pure function of the virtual clocks.
+  int best = kController;
+  std::uint64_t best_clock = 0;
+  for (int j = 0; j < num_nodes_; ++j) {
+    if (slots_[static_cast<std::size_t>(j)]->status != NodeStatus::Ready) {
+      continue;
+    }
+    const std::uint64_t c = clock_source_ ? clock_source_(j) : 0;
+    if (best == kController || c < best_clock) {
+      best = j;
+      best_clock = c;
+    }
+  }
+  if (best == kController) {
+    turn_ = kController;
+    controller_.wake();
+    return;
+  }
+  turn_ = best;
+  const int ow = owner_worker(best, num_nodes_, num_workers_);
+  if (ow != current_exec_worker()) parkers_[static_cast<std::size_t>(ow)]->wake();
+}
+
 void Gang::fail_baton_locked(std::exception_ptr error) {
   record_failure(std::move(error));
   for (auto& p : parkers_) p->wake();
   controller_.wake();
 }
 
+void Gang::async_step(int node) {
+  UPDSM_CHECK_MSG(mode_ == GangMode::Async,
+                  "async_step requires GangMode::Async");
+  NodeSlot& slot = *slots_[static_cast<std::size_t>(node)];
+  {
+    std::lock_guard<std::mutex> lock(baton_mu_);
+    UPDSM_CHECK_MSG(turn_ == node,
+                    "async_step(" << node << ") called out of turn (turn="
+                                  << turn_ << ")");
+    // The node stays Ready -- it is yielding its turn, not parking at a
+    // barrier -- so advance_async_locked may grant the turn right back.
+    advance_async_locked();
+    if (turn_ == node) return;  // still the minimum: keep running in place
+  }
+  slot.fiber.yield();
+  if (shutdown_.load(std::memory_order_acquire)) throw Shutdown{};
+}
+
 void Gang::barrier_wait(int node) {
   NodeSlot& slot = *slots_[static_cast<std::size_t>(node)];
-  if (mode_ == GangMode::Baton) {
+  if (mode_ != GangMode::Parallel) {
     std::lock_guard<std::mutex> lock(baton_mu_);
     UPDSM_CHECK_MSG(turn_ == node,
                     "barrier_wait(" << node << ") called out of turn (turn="
@@ -184,10 +242,10 @@ void Gang::worker_main(int worker) {
       }
       parkers_[static_cast<std::size_t>(worker)]->wait(ticket);
     }
-    if (mode_ == GangMode::Baton) {
-      run_job_baton(worker);
-    } else {
+    if (mode_ == GangMode::Parallel) {
       run_job_parallel(worker);
+    } else {
+      run_job_baton(worker);  // Baton and Async share the one-at-a-time loop
     }
   }
 }
@@ -422,10 +480,10 @@ void Gang::run(const NodeFn& node_fn, const BarrierFn& barrier_cb) {
   job_epoch_.fetch_add(1, std::memory_order_release);
   for (auto& p : parkers_) p->wake();
 
-  if (mode_ == GangMode::Baton) {
-    controller_baton(barrier_cb);
-  } else {
+  if (mode_ == GangMode::Parallel) {
     controller_parallel(barrier_cb);
+  } else {
+    controller_baton(barrier_cb);
   }
 
   // Wait for every worker to finish (or abandon) this job before

@@ -1,0 +1,105 @@
+// ConvergenceDetector unit battery: the async runs' termination oracle
+// must (a) terminate on monotone decrease, (b) never deadlock on a node
+// that settled and then went silent (the straggler case), (c) never
+// produce a false positive on an oscillating residual, and (d) stay
+// sticky once converged -- late drain reports must not resurrect a run.
+#include <gtest/gtest.h>
+
+#include "updsm/common/error.hpp"
+#include "updsm/protocols/convergence.hpp"
+
+namespace updsm::protocols {
+namespace {
+
+TEST(ConvergenceDetectorTest, MonotoneDecreaseTerminates) {
+  ConvergenceDetector det(3, 1e-6, 3);
+  double r = 1.0;
+  bool converged = false;
+  for (int round = 0; round < 64 && !converged; ++round) {
+    for (int n = 0; n < 3; ++n) converged = det.report(n, r);
+    r *= 0.5;
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_TRUE(det.converged());
+  for (int n = 0; n < 3; ++n) EXPECT_TRUE(det.settled(n));
+}
+
+TEST(ConvergenceDetectorTest, RequiresTheFullWindow) {
+  ConvergenceDetector det(1, 1e-6, 3);
+  EXPECT_FALSE(det.report(0, 1e-9));
+  EXPECT_FALSE(det.report(0, 1e-9));
+  EXPECT_TRUE(det.report(0, 1e-9));  // third consecutive: settled
+}
+
+// A node that settles and then goes quiet (stalled, or simply drained out
+// of its loop) must not block detection: its verdict persists with no
+// fresh reports required.
+TEST(ConvergenceDetectorTest, SilentSettledNodeDoesNotDeadlock) {
+  ConvergenceDetector det(2, 1e-6, 2);
+  EXPECT_FALSE(det.report(0, 1e-8));
+  EXPECT_FALSE(det.report(0, 1e-8));  // node 0 settles, then goes silent
+  EXPECT_TRUE(det.settled(0));
+
+  EXPECT_FALSE(det.report(1, 0.5));
+  EXPECT_FALSE(det.report(1, 1e-8));
+  EXPECT_TRUE(det.report(1, 1e-8));  // node 1 settles -> global, no node-0
+  EXPECT_TRUE(det.converged());      // report needed in between
+}
+
+// Oscillation around the tolerance must never settle a node: any report
+// above tolerance resets both the streak and the settled flag.
+TEST(ConvergenceDetectorTest, OscillationNeverConverges) {
+  ConvergenceDetector det(1, 1e-6, 3);
+  for (int i = 0; i < 100; ++i) {
+    const double r = (i % 3 == 2) ? 1e-5 : 1e-9;  // spike every third report
+    EXPECT_FALSE(det.report(0, r)) << "report " << i;
+  }
+  EXPECT_FALSE(det.converged());
+  EXPECT_FALSE(det.settled(0));
+}
+
+TEST(ConvergenceDetectorTest, SpikeUnsettlesANode) {
+  ConvergenceDetector det(2, 1e-6, 2);
+  det.report(0, 1e-8);
+  det.report(0, 1e-8);
+  ASSERT_TRUE(det.settled(0));
+  det.report(0, 0.25);  // late spike before global convergence
+  EXPECT_FALSE(det.settled(0));
+  // ... and the streak restarts from zero.
+  det.report(0, 1e-8);
+  EXPECT_FALSE(det.settled(0));
+  det.report(0, 1e-8);
+  EXPECT_TRUE(det.settled(0));
+}
+
+// Once every node is settled the verdict is sticky: a draining node's
+// last report -- even a wild one -- returns true and changes nothing.
+TEST(ConvergenceDetectorTest, ConvergenceIsSticky) {
+  ConvergenceDetector det(2, 1e-6, 1);
+  det.report(0, 1e-8);
+  EXPECT_TRUE(det.report(1, 1e-8));
+  ASSERT_TRUE(det.converged());
+  EXPECT_TRUE(det.report(0, 42.0));  // drain report far above tolerance
+  EXPECT_TRUE(det.converged());
+  EXPECT_TRUE(det.settled(0));
+  EXPECT_TRUE(det.settled(1));
+}
+
+TEST(ConvergenceDetectorTest, WorstResidualTracksReporters) {
+  ConvergenceDetector det(3, 1e-6, 1);
+  EXPECT_EQ(det.worst_residual(), 0.0);  // nobody reported yet
+  det.report(0, 1e-8);
+  det.report(1, 3e-4);
+  EXPECT_DOUBLE_EQ(det.worst_residual(), 3e-4);  // node 2 silent: excluded
+  det.report(1, 2e-8);
+  EXPECT_DOUBLE_EQ(det.worst_residual(), 2e-8);  // last report wins
+}
+
+TEST(ConvergenceDetectorTest, RejectsBadConstruction) {
+  EXPECT_THROW(ConvergenceDetector(0, 1e-6, 3), UsageError);
+  EXPECT_THROW(ConvergenceDetector(2, 0.0, 3), UsageError);
+  EXPECT_THROW(ConvergenceDetector(2, 1e-6, 0), UsageError);
+}
+
+}  // namespace
+}  // namespace updsm::protocols

@@ -55,15 +55,19 @@ struct Options {
   std::uint64_t seed = 0x1998'0330;
   sim::GangMode gang = sim::GangMode::Parallel;
   int workers = 0;  // 0 = auto (hardware concurrency)
+  int staleness = 4;
+  double tolerance = 1e-6;
 };
 
 [[noreturn]] void usage(int code) {
   std::printf(
       "updsm_run -- run one paper workload under one coherence protocol\n"
       "\n"
-      "  --app=NAME        barnes|expl|fft|jacobi|shal|sor|swm|tomcat\n"
+      "  --app=NAME        barnes|expl|fft|jacobi|shal|sor|swm|tomcat, or a\n"
+      "                    barrier-free workload: jacobi-async|sor-async\n"
       "  --protocol=NAME   lmw-i|lmw-u|bar-i|bar-u|bar-s|bar-m|adaptive|\n"
-      "                    sc-sw|all (all = the paper's fixed protocols)\n"
+      "                    sc-sw|async-u|async-i|all (all = the paper's\n"
+      "                    fixed protocols)\n"
       "  --nodes=N         cluster size (default 8)\n"
       "  --scale=F         linear problem-size factor (default 1.0)\n"
       "  --warmup=N        unmeasured time-steps (default 5)\n"
@@ -92,8 +96,16 @@ struct Options {
       "                    dissemination tree when they target more than N\n"
       "                    destinations (0 = off; results bit-identical)\n"
       "  --relay-fanout=K  dissemination-tree fanout (default 4)\n"
-      "  --gang=MODE       parallel|baton node scheduling (default\n"
-      "                    parallel; output is byte-identical)\n"
+      "  --gang=MODE       parallel|baton|async node scheduling (default\n"
+      "                    parallel; parallel and baton are byte-identical;\n"
+      "                    async drops the phase barrier and schedules the\n"
+      "                    lowest-virtual-clock node -- requires a\n"
+      "                    parallel-safe protocol)\n"
+      "  --staleness=N     async protocols: refresh a cached page once its\n"
+      "                    home version leads by more than N publishes\n"
+      "                    (default 4; 0 = always fresh)\n"
+      "  --tolerance=F     residual tolerance for the run-to-convergence\n"
+      "                    workloads (default 1e-6)\n"
       "  --workers=M       OS threads multiplexing the simulated nodes\n"
       "                    (default: host cores, clamped to N; output is\n"
       "                    byte-identical for every M)\n"
@@ -158,6 +170,8 @@ Options parse(int argc, char** argv) {
         opt.gang = sim::GangMode::Parallel;
       } else if (mode == "baton") {
         opt.gang = sim::GangMode::Baton;
+      } else if (mode == "async") {
+        opt.gang = sim::GangMode::Async;
       } else {
         std::fprintf(stderr, "unknown gang mode: %s\n", v);
         usage(2);
@@ -168,6 +182,10 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "--workers must be >= 1, got %s\n", v);
         usage(2);
       }
+    } else if (const char* v = value("--staleness=")) {
+      opt.staleness = std::atoi(v);
+    } else if (const char* v = value("--tolerance=")) {
+      opt.tolerance = std::atof(v);
     } else if (const char* v = value("--fanout=")) {
       opt.fanout = std::atoi(v);
     } else if (const char* v = value("--relay-threshold=")) {
@@ -216,6 +234,8 @@ dsm::ClusterConfig cluster_config(const Options& opt) {
   cfg.costs = sim::CostModel::from_profile(opt.net_profile);
   sim::apply_cost_overrides(cfg.costs, opt.cost_overrides);
   cfg.adaptive_window = opt.adaptive_window;
+  cfg.staleness_bound = opt.staleness;
+  cfg.async_tolerance = opt.tolerance;
   cfg.costs.net.flush_drop_rate = opt.drop_rate;
   if (!opt.faults.empty()) {
     cfg.faults = sim::FaultSpec::parse(load_fault_spec(opt.faults));
@@ -282,6 +302,18 @@ void print_run(const Options& opt, const harness::RunResult& run,
               static_cast<unsigned long long>(run.counters.updates_sent),
               static_cast<unsigned long long>(run.counters.updates_applied),
               static_cast<unsigned long long>(run.counters.updates_ignored));
+  if (run.counters.async_steps > 0) {
+    std::printf("  async         %llu steps, %llu staleness refreshes, %llu "
+                "invalidations, %llu lead throttles; %llu sweeps to "
+                "residual %.3g\n",
+                static_cast<unsigned long long>(run.counters.async_steps),
+                static_cast<unsigned long long>(run.counters.async_refreshes),
+                static_cast<unsigned long long>(
+                    run.counters.async_invalidations),
+                static_cast<unsigned long long>(run.counters.async_throttles),
+                static_cast<unsigned long long>(run.app_iterations),
+                run.final_residual);
+  }
   std::printf("  homes         %llu migrated; private pages %llu in / %llu "
               "out\n",
               static_cast<unsigned long long>(run.counters.migrations),
@@ -341,6 +373,16 @@ int main(int argc, char** argv) {
       kinds = protocols::all_paper_protocols();
     } else {
       kinds.push_back(protocols::protocol_from_string(opt.protocol));
+    }
+
+    // Gang/protocol compatibility fails at parse time with a friendly
+    // message, not deep inside a run.
+    if (opt.gang == sim::GangMode::Async) {
+      for (const auto kind : kinds) {
+        const auto probe = protocols::make_protocol(kind);
+        dsm::validate_gang_protocol(opt.gang, probe->parallel_safe(),
+                                    protocols::to_string(kind));
+      }
     }
 
     if (opt.layout) {
